@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Every figure/table benchmark runs its experiment once under
+``pytest-benchmark`` and *emits* the resulting table: printed to stdout
+(visible with ``pytest benchmarks/ --benchmark-only -s``) and saved under
+``benchmarks/results/`` so a benchmark run regenerates the paper's numbers
+as artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory collecting the regenerated figure/table text files."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir, request):
+    """Emit one or more ResultTables for the current benchmark."""
+
+    def _emit(*tables):
+        name = request.node.name.replace("test_", "", 1)
+        text = "\n\n".join(t.format() for t in tables)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _emit

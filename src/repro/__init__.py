@@ -1,0 +1,31 @@
+"""GENIE reproduction: generic inverted-index similarity search on a simulated GPU.
+
+Reproduces "A Generic Inverted Index Framework for Similarity Search on the
+GPU" (ICDE 2018). Subpackages:
+
+* :mod:`repro.gpu` — the simulated GPU/CPU substrate,
+* :mod:`repro.core` — match-count model, inverted index, c-PQ, engine,
+* :mod:`repro.lsh` — LSH families, re-hashing, tau-ANN search,
+* :mod:`repro.sa` — shotgun-and-assembly front-ends (sequences, documents,
+  relational tables),
+* :mod:`repro.baselines` — the paper's competitor systems,
+* :mod:`repro.datasets` — synthetic stand-ins for the paper's datasets,
+* :mod:`repro.experiments` — the figure/table reproduction harness.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import Corpus, GenieConfig, GenieEngine, MultiLoadGenie, Query, TopKResult
+from repro.gpu import Device, HostCpu
+
+__all__ = [
+    "Corpus",
+    "Query",
+    "TopKResult",
+    "GenieEngine",
+    "GenieConfig",
+    "MultiLoadGenie",
+    "Device",
+    "HostCpu",
+    "__version__",
+]

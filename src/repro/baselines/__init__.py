@@ -1,0 +1,31 @@
+"""The paper's competitor systems (Section VI-A2), on the same simulated clock.
+
+* :class:`~repro.baselines.gpu_spq.GpuSpq` — full-scan GPU + SPQ selection,
+* :func:`~repro.baselines.gen_spq.make_gen_spq` — GENIE index, SPQ selection,
+* :class:`~repro.baselines.gpu_lsh.GpuLsh` — bi-level LSH (Pan & Manocha),
+* :class:`~repro.baselines.cpu_idx.CpuIdx` — CPU inverted index,
+* :class:`~repro.baselines.cpu_lsh.CpuLsh` — C2LSH collision counting,
+* :class:`~repro.baselines.appgram.AppGram` — exact CPU sequence kNN.
+
+The SPQ bucket k-selection itself lives in :mod:`repro.core.spq_select`
+(GEN-SPQ shares it) and is re-exported here.
+"""
+
+from repro.baselines.appgram import AppGram
+from repro.baselines.cpu_idx import CpuIdx
+from repro.baselines.cpu_lsh import CpuLsh
+from repro.baselines.gen_spq import make_gen_spq
+from repro.baselines.gpu_lsh import GpuLsh
+from repro.baselines.gpu_spq import GpuSpq
+from repro.core.spq_select import SpqTrace, spq_topk
+
+__all__ = [
+    "GpuSpq",
+    "GpuLsh",
+    "CpuIdx",
+    "CpuLsh",
+    "AppGram",
+    "make_gen_spq",
+    "spq_topk",
+    "SpqTrace",
+]

@@ -1,0 +1,32 @@
+"""GEN-SPQ: GENIE's inverted index with SPQ selection instead of c-PQ.
+
+The paper's ablation variant (Section VI-A2): the same GPU inverted index,
+but counts go into a plain per-query Count Table and top-k extraction uses
+the SPQ bucket selection. Comparing it with GENIE isolates c-PQ's
+contribution (Fig. 13, Table IV).
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import GenieConfig, GenieEngine
+from repro.gpu.device import Device
+from repro.gpu.host import HostCpu
+
+
+def make_gen_spq(
+    device: Device | None = None,
+    host: HostCpu | None = None,
+    config: GenieConfig | None = None,
+) -> GenieEngine:
+    """A :class:`GenieEngine` configured as the GEN-SPQ variant.
+
+    Args:
+        device: Simulated GPU.
+        host: Simulated host CPU.
+        config: Base configuration; ``use_cpq`` is forced off.
+
+    Returns:
+        The configured engine (same ``fit`` / ``query`` API as GENIE).
+    """
+    base = config if config is not None else GenieConfig()
+    return GenieEngine(device=device, host=host, config=base.with_(use_cpq=False))

@@ -1,0 +1,223 @@
+"""GPU-LSH: a bi-level LSH ANN baseline (Pan & Manocha), simulated.
+
+The competitor the paper benchmarks against for high-dimensional ANN. Key
+modeled properties, each of which the paper's experiments surface:
+
+* *one thread per query* — running time is roughly flat in the number of
+  queries until the device's thread capacity is reached (Fig. 9/11),
+* *sort-based short-list selection* — each thread sorts its candidate
+  union, the "k-selection bottleneck" c-PQ avoids (Section VI-B5),
+* *constant-memory random vectors* — caps the number of hash functions on
+  high-dimensional data (8 on OCR in the paper),
+* *hash tables resident in global memory* — caps the dataset size
+  (GPU-LSH could not index more than 1M OCR / 12M SIFT points).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import TopKResult
+from repro.errors import ConfigError, QueryError
+from repro.gpu.device import Device
+from repro.gpu.kernel import KernelLaunch
+from repro.gpu.stats import StageTimings, timings_delta
+from repro.lsh.e2lsh import E2Lsh
+
+#: Device bytes per stored (bucket key, point id) table entry.
+_TABLE_ENTRY_BYTES = 8
+
+#: Unhidden memory-latency cycles per scattered candidate-vector element
+#: (one thread per query leaves little warp-level latency hiding).
+_SCATTER_STALL_CYCLES = 7.0
+
+
+class GpuLsh:
+    """Bi-level LSH k-NN search on the simulated GPU.
+
+    Args:
+        num_tables: Hash tables ``L`` (the paper tunes 700 on SIFT, 100 on
+            OCR, to match GENIE's result quality).
+        functions_per_table: Concatenated functions per table key ``j``
+            (32 in the paper; constant memory caps it on high-dim data).
+        width: E2LSH bucket width.
+        p: lp norm (1 or 2).
+        device: Simulated GPU.
+        seed: RNG seed.
+        early_stop_factor: A thread stops gathering candidates once it has
+            ``early_stop_factor * k`` of them (the early-stop condition the
+            paper blames for GPU-LSH's poor approximation ratio at small k,
+            Fig. 14). ``None`` disables early stopping.
+    """
+
+    def __init__(
+        self,
+        num_tables: int,
+        functions_per_table: int,
+        width: float,
+        p: int = 2,
+        device: Device | None = None,
+        seed: int = 0,
+        early_stop_factor: int | None = 10,
+    ):
+        if num_tables < 1 or functions_per_table < 1:
+            raise ConfigError("num_tables and functions_per_table must be >= 1")
+        self.num_tables = int(num_tables)
+        self.functions_per_table = int(functions_per_table)
+        self.width = float(width)
+        self.p = int(p)
+        self.device = device if device is not None else Device()
+        self.seed = int(seed)
+        self.early_stop_factor = early_stop_factor
+        self._families: list[E2Lsh] = []
+        self._tables: list[dict] = []
+        self._points: np.ndarray | None = None
+        self._table_darray = None
+        self.last_profile: StageTimings | None = None
+
+    def fit(self, points: np.ndarray) -> "GpuLsh":
+        """Hash all points into ``L`` tables and store them on the device.
+
+        Raises:
+            ConfigError: If the random vectors exceed constant memory.
+            GpuOutOfMemoryError: If the tables exceed global memory.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        dim = points.shape[1]
+        vector_bytes = self.functions_per_table * dim * 4
+        if vector_bytes > self.device.spec.constant_mem_bytes:
+            raise ConfigError(
+                f"{self.functions_per_table} functions x {dim} dims need {vector_bytes} B "
+                f"of constant memory (limit {self.device.spec.constant_mem_bytes} B)"
+            )
+        self._points = points
+        self._families = [
+            E2Lsh(self.functions_per_table, dim, self.width, p=self.p, seed=self.seed + t)
+            for t in range(self.num_tables)
+        ]
+        self._tables = []
+        for family in self._families:
+            signatures = family.hash_points(points)
+            table: dict[tuple, np.ndarray] = {}
+            keys = list(map(tuple, signatures))
+            buckets: dict[tuple, list[int]] = {}
+            for i, key in enumerate(keys):
+                buckets.setdefault(key, []).append(i)
+            for key, ids in buckets.items():
+                table[key] = np.asarray(ids, dtype=np.int64)
+            self._tables.append(table)
+
+        if self._table_darray is not None and self._table_darray.is_live:
+            self._table_darray.free()
+        table_bytes = self.num_tables * points.shape[0] * _TABLE_ENTRY_BYTES
+        placeholder = np.zeros(table_bytes // 8, dtype=np.int64)
+        self._table_darray = self.device.to_device(placeholder, label="gpu_lsh_tables", stage="index_transfer")
+        return self
+
+    def candidates_for(self, query_point: np.ndarray, k: int | None = None) -> np.ndarray:
+        """Union of the query's buckets over all tables (with duplicates).
+
+        With early stopping enabled and ``k`` given, tables stop being
+        probed once ``early_stop_factor * k`` candidates are gathered.
+        """
+        budget = None
+        if k is not None and self.early_stop_factor is not None:
+            budget = self.early_stop_factor * int(k)
+        gathered = []
+        total = 0
+        for family, table in zip(self._families, self._tables):
+            key = tuple(family.hash_points(query_point[None, :])[0])
+            bucket = table.get(key)
+            if bucket is not None:
+                gathered.append(bucket)
+                total += bucket.size
+            if budget is not None and total >= budget:
+                break
+        if not gathered:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(gathered)
+
+    def query(self, query_points: np.ndarray, k: int) -> list[TopKResult]:
+        """k-NN by candidate-union + per-thread sort.
+
+        Returns ``TopKResult`` records whose ``counts`` field holds the
+        number of tables that produced each returned candidate.
+        """
+        if self._points is None:
+            raise QueryError("GpuLsh must be fitted before querying")
+        query_points = np.atleast_2d(np.asarray(query_points, dtype=np.float64))
+        before = self.device.timings.copy()
+
+        results = []
+        per_query_cycles = []
+        scattered_bytes = 0.0
+        for qp in query_points:
+            raw = self.candidates_for(qp, k=k)
+            # Early stop truncates in arrival order: the thread never sees
+            # candidates beyond its budget, whatever their quality. This is
+            # what degrades GPU-LSH's ratio at small k (Fig. 14).
+            if k is not None and self.early_stop_factor is not None:
+                raw = raw[: self.early_stop_factor * int(k)]
+            table_hits = np.bincount(raw) if raw.size else np.empty(0, dtype=np.int64)
+            unique = np.nonzero(table_hits)[0]
+            if unique.size:
+                distances = np.linalg.norm(self._points[unique] - qp[None, :], ord=self.p, axis=1)
+                order = np.argsort(distances, kind="stable")[:k]
+                ids = unique[order]
+                counts = table_hits[ids]
+            else:
+                ids = np.empty(0, dtype=np.int64)
+                counts = np.empty(0, dtype=np.int64)
+            results.append(TopKResult(ids=ids, counts=counts))
+
+            # Per-thread serial work: L lookups + hashing, a scattered
+            # point fetch + distance per candidate, and an O(c log c)
+            # short-list sort. At one thread per query the scattered fetches
+            # are latency-bound (little warp-level hiding), which is the
+            # short-list bottleneck the paper describes.
+            c = max(int(raw.size), 1)
+            dim = self._points.shape[1]
+            cycles = (
+                self.num_tables * self.functions_per_table * dim  # query hashing
+                + c * dim * (1.0 + _SCATTER_STALL_CYCLES)  # fetch + distance
+                + 8.0 * c * np.log2(c + 1)  # per-thread sort
+            )
+            per_query_cycles.append(cycles)
+            scattered_bytes += c * 4.0
+
+        launch = _one_thread_per_query_launch(
+            per_query_cycles, self.device, scattered_bytes
+        )
+        self.device.launch(launch, stage="match")
+        self.last_profile = timings_delta(before, self.device.timings)
+        return results
+
+
+def _one_thread_per_query_launch(per_query_cycles, device, scattered_bytes) -> KernelLaunch:
+    """Model a one-thread-per-query kernel.
+
+    Queries fill warps; a warp's time is its slowest thread's (full SIMD
+    divergence across irregular per-query work). Block cost is expressed
+    directly in cycles (``threads_per_block=1`` makes ``block_cycles`` a
+    pass-through), one synthetic block per warp-batch on each SM.
+    """
+    cycles = np.asarray(per_query_cycles, dtype=np.float64)
+    warp = device.spec.warp_size
+    n_warps = int(np.ceil(cycles.size / warp))
+    warp_cycles = [
+        float(cycles[w * warp : (w + 1) * warp].max()) for w in range(n_warps)
+    ]
+    # Each SM runs `cores_per_sm / warp` warps concurrently; fold that
+    # concurrency in by dividing each warp's cost across available lanes.
+    concurrent = max(1, device.spec.cores_per_sm // warp)
+    block_items = np.asarray([max(1, int(c / concurrent)) for c in warp_cycles], dtype=np.int64)
+    return KernelLaunch(
+        name="gpu_lsh_query",
+        block_items=block_items,
+        threads_per_block=1,
+        cycles_per_item=1.0,
+        bytes_read=0.0,
+        uncoalesced_bytes=float(scattered_bytes),
+        divergent_warps=float(n_warps),
+    )
+

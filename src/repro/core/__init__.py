@@ -1,0 +1,50 @@
+"""GENIE core: the match-count model, inverted index, c-PQ and engine.
+
+Typical use::
+
+    from repro.core import Corpus, GenieConfig, GenieEngine, Query
+
+    engine = GenieEngine(config=GenieConfig(k=10)).fit(Corpus(objects))
+    results = engine.query([Query.from_keywords(sig) for sig in signatures])
+"""
+
+from repro.core.bitmap_counter import BitmapCounter, bits_for_bound
+from repro.core.count_table import CountTable, count_table_batch_bytes
+from repro.core.cpq import CountPriorityQueue, hash_table_capacity
+from repro.core.engine import GenieConfig, GenieEngine, per_query_device_bytes
+from repro.core.hash_table import RobinHoodHashTable
+from repro.core.inverted_index import InvertedIndex
+from repro.core.load_balance import LoadBalanceConfig
+from repro.core.match_count import brute_force_topk, match_count, match_counts_all
+from repro.core.multiload import MultiLoadGenie
+from repro.core.selection import audit_threshold_from_counts, derive_cpq_cost, topk_from_counts
+from repro.core.spq_select import spq_topk
+from repro.core.types import Corpus, Query, TopKResult
+from repro.core.zipper import Gate
+
+__all__ = [
+    "Corpus",
+    "Query",
+    "TopKResult",
+    "GenieEngine",
+    "GenieConfig",
+    "MultiLoadGenie",
+    "InvertedIndex",
+    "LoadBalanceConfig",
+    "CountPriorityQueue",
+    "BitmapCounter",
+    "Gate",
+    "RobinHoodHashTable",
+    "CountTable",
+    "match_count",
+    "match_counts_all",
+    "brute_force_topk",
+    "topk_from_counts",
+    "audit_threshold_from_counts",
+    "derive_cpq_cost",
+    "spq_topk",
+    "bits_for_bound",
+    "hash_table_capacity",
+    "count_table_batch_bytes",
+    "per_query_device_bytes",
+]

@@ -1,0 +1,62 @@
+"""The plain Count Table — what c-PQ replaces.
+
+A Count Table allocates one 32-bit counter per object per query. The paper
+uses it (a) as the strawman whose memory blow-up motivates c-PQ (1k queries
+on 10M points = 40 GB) and (b) inside the GEN-SPQ variant, where top-k
+selection must then run over the full table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Bytes per counter in the plain table.
+COUNT_TABLE_ENTRY_BYTES = 4
+
+#: Extra per-object workspace SPQ selection needs (explicit ids + a scratch
+#: copy of counts, 4 bytes each) — see Appendix A of the paper.
+SPQ_WORKSPACE_BYTES = 8
+
+
+class CountTable:
+    """One query's full per-object count array.
+
+    Args:
+        n_objects: Number of objects (counters).
+    """
+
+    def __init__(self, n_objects: int):
+        if n_objects < 0:
+            raise ConfigError("n_objects must be non-negative")
+        self.n_objects = int(n_objects)
+        self.counts = np.zeros(self.n_objects, dtype=np.int32)
+
+    @property
+    def nbytes(self) -> int:
+        """Device footprint of the table itself."""
+        return int(self.counts.nbytes)
+
+    def increment(self, obj_id: int) -> int:
+        """Add one to an object's counter; returns the new value."""
+        self.counts[obj_id] += 1
+        return int(self.counts[obj_id])
+
+    def increment_many(self, obj_ids: np.ndarray) -> None:
+        """Vectorized increments (duplicate ids accumulate)."""
+        np.add.at(self.counts, np.asarray(obj_ids, dtype=np.int64), 1)
+
+    def to_array(self) -> np.ndarray:
+        """The counts as ``int64``."""
+        return self.counts.astype(np.int64)
+
+
+def count_table_batch_bytes(n_objects: int, n_queries: int, with_spq_workspace: bool = True) -> int:
+    """Device bytes a batch of plain Count Tables needs.
+
+    This is the quantity that limits GEN-SPQ / GPU-SPQ batch sizes in
+    Table IV and in Fig. 9's "cannot run more than 256 queries" remark.
+    """
+    per_query = COUNT_TABLE_ENTRY_BYTES + (SPQ_WORKSPACE_BYTES if with_spq_workspace else 0)
+    return int(n_objects) * per_query * int(n_queries)

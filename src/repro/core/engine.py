@@ -1,0 +1,305 @@
+"""The GENIE engine: batched top-k match-count search on the simulated GPU.
+
+:class:`GenieEngine` ties the pieces together in the paper's pipeline order
+(Fig. 3 / Table I):
+
+1. ``fit`` — build the inverted index on the host, transfer it to device
+   global memory,
+2. ``query`` — per batch: transfer the queries, launch the match kernel
+   (postings scan into c-PQ or a plain Count Table), launch the selection
+   step, and transfer results back.
+
+The engine is also the home of the memory accounting that reproduces
+Table IV: per-batch structures are really allocated on the simulated
+device, so an oversized batch raises
+:class:`~repro.errors.GpuOutOfMemoryError` just as it would overflow a real
+12 GB card.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.bitmap_counter import bits_for_bound
+from repro.core.cpq import CountPriorityQueue, hash_table_capacity
+from repro.core.count_table import COUNT_TABLE_ENTRY_BYTES, SPQ_WORKSPACE_BYTES
+from repro.core.inverted_index import InvertedIndex
+from repro.core.load_balance import LoadBalanceConfig
+from repro.core.scan_kernel import (
+    HT_INSERT_BYTES,
+    build_match_launch,
+    build_select_launch,
+    plan_query_scan,
+)
+from repro.core.selection import topk_from_counts
+from repro.core.spq_select import spq_topk
+from repro.core.types import Corpus, Query, TopKResult
+from repro.errors import ConfigError, QueryError
+from repro.gpu.device import Device
+from repro.gpu.host import HostCpu
+from repro.gpu.kernel import KernelLaunch
+from repro.gpu.stats import StageTimings, timings_delta
+
+#: Modeled bytes per Hash-Table slot on the real device (4B key + 4B value).
+_HT_SLOT_BYTES = 8
+
+#: Result bytes per query entry sent back to the host (id + count).
+_RESULT_ENTRY_BYTES = 8
+
+
+@dataclass(frozen=True)
+class GenieConfig:
+    """Engine configuration.
+
+    Attributes:
+        k: Default result size.
+        use_cpq: ``True`` for GENIE proper; ``False`` gives the GEN-SPQ
+            variant (plain Count Table + bucket k-selection).
+        bits: Bitmap-Counter width override (ablation knob).
+        count_bound: Match-count upper bound; derived from each batch's
+            queries when ``None``.
+        load_balance: Postings-list splitting configuration, or ``None``.
+        threads_per_block: Match-kernel launch configuration.
+        expired_overwrite: Robin Hood expired-overwrite modification
+            (ablation knob).
+        reference_cpq: Run the exact per-update Algorithm-1 c-PQ instead of
+            the vectorized path. Slow; used by tests.
+    """
+
+    k: int = 100
+    use_cpq: bool = True
+    bits: int | None = None
+    count_bound: int | None = None
+    load_balance: LoadBalanceConfig | None = None
+    threads_per_block: int = 256
+    expired_overwrite: bool = True
+    reference_cpq: bool = False
+
+    def with_(self, **changes) -> "GenieConfig":
+        """A copy of this config with fields replaced."""
+        return replace(self, **changes)
+
+
+def per_query_device_bytes(n_objects: int, k: int, count_bound: int, bits: int | None, use_cpq: bool) -> int:
+    """Device bytes one in-flight query occupies (Table IV's quantity).
+
+    GENIE: the bit-packed Bitmap Counter plus the ``O(k * count_bound)``
+    Hash Table and the ZipperArray. GEN-SPQ: a full 32-bit Count Table plus
+    the explicit id/scratch workspace its bucket selection requires.
+    """
+    if use_cpq:
+        width = bits if bits is not None else bits_for_bound(count_bound)
+        bc_bytes = -(-n_objects * width // 8)  # ceil division
+        ht_bytes = hash_table_capacity(k, count_bound) * _HT_SLOT_BYTES
+        za_bytes = (count_bound + 2) * 4
+        return bc_bytes + ht_bytes + za_bytes
+    return n_objects * (COUNT_TABLE_ENTRY_BYTES + SPQ_WORKSPACE_BYTES)
+
+
+class GenieEngine:
+    """Batched GENIE similarity search on a simulated GPU.
+
+    Args:
+        device: Simulated GPU (a fresh default device when omitted).
+        host: Simulated host CPU.
+        config: Engine configuration.
+    """
+
+    def __init__(
+        self,
+        device: Device | None = None,
+        host: HostCpu | None = None,
+        config: GenieConfig | None = None,
+    ):
+        self.device = device if device is not None else Device()
+        self.host = host if host is not None else HostCpu()
+        self.config = config if config is not None else GenieConfig()
+        self.index: InvertedIndex | None = None
+        self.corpus: Corpus | None = None
+        self._index_darray = None
+        self.last_profile: StageTimings | None = None
+
+    # ------------------------------------------------------------------
+    # fitting
+
+    def fit(self, corpus: Corpus) -> "GenieEngine":
+        """Build the inverted index on the host and move it to the device."""
+        if not isinstance(corpus, Corpus):
+            corpus = Corpus(corpus)
+        index = InvertedIndex.build(corpus, load_balance=self.config.load_balance)
+        self.host.charge_ops(index.build_ops, stage="index_build")
+        return self.attach_index(index, corpus)
+
+    def attach_index(self, index: InvertedIndex, corpus: Corpus) -> "GenieEngine":
+        """Adopt a pre-built index: transfer it to the device without rebuilding.
+
+        The multi-loading path uses this to swap offline-built part indexes
+        through device memory, paying only the ``index_transfer`` stage.
+        """
+        self.corpus = corpus
+        self.index = index
+        if self._index_darray is not None and self._index_darray.is_live:
+            self._index_darray.free()
+        # The real List Array holds 32-bit ids; transfer that footprint.
+        device_view = index.list_array.astype(np.int32)
+        self._index_darray = self.device.to_device(device_view, label="list_array", stage="index_transfer")
+        return self
+
+    def release(self) -> None:
+        """Free the device-resident index (used by the multi-loader)."""
+        if self._index_darray is not None and self._index_darray.is_live:
+            self._index_darray.free()
+        self._index_darray = None
+
+    # ------------------------------------------------------------------
+    # sizing
+
+    def _count_bound(self, queries: list[Query]) -> int:
+        if self.config.count_bound is not None:
+            return max(1, int(self.config.count_bound))
+        return max(1, max((q.count_bound() for q in queries), default=1))
+
+    def per_query_bytes(self, count_bound: int | None = None, k: int | None = None) -> int:
+        """Per-query device footprint under the current configuration."""
+        if self.index is None:
+            raise ConfigError("engine must be fitted first")
+        bound = max(1, int(count_bound if count_bound is not None else (self.config.count_bound or 1)))
+        return per_query_device_bytes(
+            self.index.n_objects,
+            int(k if k is not None else self.config.k),
+            bound,
+            self.config.bits,
+            self.config.use_cpq,
+        )
+
+    def max_batch_size(self, count_bound: int, k: int | None = None) -> int:
+        """Largest batch the device can hold next to the resident index."""
+        return int(self.device.memory.free // max(1, self.per_query_bytes(count_bound, k)))
+
+    # ------------------------------------------------------------------
+    # querying
+
+    def query(self, queries: list[Query], k: int | None = None) -> list[TopKResult]:
+        """Run a batch of queries; returns one :class:`TopKResult` per query.
+
+        Raises:
+            QueryError: If the engine is unfitted or the batch is empty.
+            GpuOutOfMemoryError: If the batch's c-PQ / Count-Table
+                structures do not fit in device memory.
+        """
+        if self.index is None or self.corpus is None:
+            raise QueryError("engine must be fitted before querying")
+        queries = list(queries)
+        if not queries:
+            raise QueryError("empty query batch")
+        k = int(k if k is not None else self.config.k)
+        if k < 1:
+            raise QueryError("k must be >= 1")
+        count_bound = self._count_bound(queries)
+
+        before = self.device.timings.copy()
+        host_before = self.host.timings.copy()
+
+        batch_bytes = len(queries) * per_query_device_bytes(
+            self.index.n_objects, k, count_bound, self.config.bits, self.config.use_cpq
+        )
+        batch_alloc = self.device.memory.alloc(batch_bytes, label="query_batch_state")
+        try:
+            results = self._run_batch(queries, k, count_bound)
+        finally:
+            self.device.memory.release(batch_alloc)
+
+        self.last_profile = timings_delta(before, self.device.timings)
+        self.last_profile.merge(timings_delta(host_before, self.host.timings))
+        return results
+
+    def _run_batch(self, queries: list[Query], k: int, count_bound: int) -> list[TopKResult]:
+        query_bytes = sum(q.all_keywords().size for q in queries) * 4
+        self.device.charge_seconds(query_bytes / self.device.spec.pcie_bandwidth, stage="query_transfer")
+
+        plans = [plan_query_scan(self.index, q, i, k) for i, q in enumerate(queries)]
+        match_launch = build_match_launch(
+            plans, self.device.spec, self.config.threads_per_block, self.config.use_cpq
+        )
+        self.device.launch(match_launch, stage="match")
+
+        if self.config.reference_cpq:
+            results = [self._reference_query(q, k, count_bound) for q in queries]
+        elif self.config.use_cpq:
+            results = [topk_from_counts(plan.counts, k) for plan in plans]
+        else:
+            results = []
+            for plan in plans:
+                result, trace = spq_topk(plan.counts, k)
+                self.device.launch(
+                    KernelLaunch(
+                        name="spq_select",
+                        block_items=np.asarray([trace.elements_scanned or 1]),
+                        threads_per_block=self.config.threads_per_block,
+                        cycles_per_item=3.0,
+                        bytes_read=trace.elements_scanned * 8.0,
+                        bytes_written=trace.elements_scanned * 8.0,
+                        atomic_ops=float(trace.elements_scanned),
+                    ),
+                    stage="select",
+                )
+                results.append(result)
+
+        if self.config.use_cpq and not self.config.reference_cpq:
+            select_launch = build_select_launch(
+                plans, hash_table_capacity(k, count_bound), k, self.config.threads_per_block
+            )
+            self.device.launch(select_launch, stage="select")
+
+        result_bytes = len(queries) * k * _RESULT_ENTRY_BYTES
+        self.device.charge_seconds(result_bytes / self.device.spec.pcie_bandwidth, stage="select")
+        return results
+
+    def query_batched(self, queries: list[Query], k: int | None = None, batch_size: int | None = None) -> list[TopKResult]:
+        """Run an oversized workload as a sequence of device-sized batches.
+
+        This is the paper's Fig.-11 protocol: GENIE answers tens of
+        thousands of queries by splitting them into batches that fit next
+        to the resident index. When ``batch_size`` is omitted it is derived
+        from free device memory.
+
+        Args:
+            queries: The full workload.
+            k: Result size.
+            batch_size: Queries per batch; auto-sized when ``None``.
+
+        Returns:
+            One result per query, in input order. ``last_profile``
+            accumulates over all batches.
+        """
+        queries = list(queries)
+        if not queries:
+            raise QueryError("empty query batch")
+        k = int(k if k is not None else self.config.k)
+        if batch_size is None:
+            bound = self._count_bound(queries)
+            batch_size = max(1, min(len(queries), self.max_batch_size(bound, k)))
+        results: list[TopKResult] = []
+        profile = StageTimings()
+        for start in range(0, len(queries), batch_size):
+            results.extend(self.query(queries[start : start + batch_size], k=k))
+            profile.merge(self.last_profile)
+        self.last_profile = profile
+        return results
+
+    def _reference_query(self, query: Query, k: int, count_bound: int) -> TopKResult:
+        """Exact Algorithm-1 execution: scan postings in span order through c-PQ."""
+        cpq = CountPriorityQueue(
+            self.index.n_objects,
+            k,
+            count_bound,
+            bits=self.config.bits,
+            expired_overwrite=self.config.expired_overwrite,
+        )
+        for item in query.items:
+            spans = self.index.spans_for_keywords(item)
+            cpq.update_many(self.index.gather(spans))
+        return cpq.select_topk()
+

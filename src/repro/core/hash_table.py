@@ -1,0 +1,142 @@
+"""c-PQ's upper level: a Robin Hood hash table with expired-entry overwrite.
+
+Standard Robin Hood hashing bounds probe sequences by letting a "poor"
+incoming entry evict a "rich" resident (one with a smaller probe age). The
+paper's modification (Section III-C2) exploits Theorem 3.1: any entry whose
+value has fallen below ``AT - 1`` can never be a top-k candidate, so an
+insert may simply overwrite it, which keeps probe sequences short as ``AT``
+rises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+_EMPTY = -1
+
+
+def _mix(key: int) -> int:
+    """A 64-bit finalizer (splitmix64-style) used as the table hash."""
+    h = (key + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    h = ((h ^ (h >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    h = ((h ^ (h >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return h ^ (h >> 31)
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two that is >= max(n, 1)."""
+    return 1 << max(0, (max(n, 1) - 1)).bit_length()
+
+
+class RobinHoodHashTable:
+    """Open-addressing hash table with Robin Hood probing.
+
+    Args:
+        capacity: Slot count; rounded up to a power of two. Theorem 3.1
+            sizes it as ``O(k * count_bound)``.
+        expired_overwrite: Enable the paper's modification (overwrite
+            entries whose value is below the expiry threshold). Disabling it
+            is the ablation in ``benchmarks/test_ablation_robin_hood.py``.
+    """
+
+    def __init__(self, capacity: int, expired_overwrite: bool = True):
+        if capacity < 1:
+            raise ConfigError("capacity must be >= 1")
+        self.capacity = next_power_of_two(capacity)
+        self.expired_overwrite = bool(expired_overwrite)
+        self._keys = np.full(self.capacity, _EMPTY, dtype=np.int64)
+        self._values = np.zeros(self.capacity, dtype=np.int64)
+        self._ages = np.zeros(self.capacity, dtype=np.int64)
+        self.size = 0
+        self.total_probes = 0
+        self.evictions = 0
+        self.expired_overwrites = 0
+
+    @property
+    def nbytes(self) -> int:
+        """Device footprint of the table (keys + values + ages)."""
+        return int(self._keys.nbytes + self._values.nbytes + self._ages.nbytes)
+
+    def _slot(self, key: int) -> int:
+        return _mix(int(key)) & (self.capacity - 1)
+
+    def put(self, key: int, value: int, expire_below: int = 0) -> None:
+        """Insert or update ``key`` with ``value``.
+
+        Args:
+            key: Object id (non-negative).
+            value: Its current count; an existing entry is overwritten only
+                by a larger value (counts are monotone).
+            expire_below: Current ``AT - 1``; resident entries with a value
+                strictly below it are dead and may be overwritten in place.
+
+        Raises:
+            ConfigError: If the table is full and nothing can be evicted —
+                which Theorem 3.1's sizing is meant to preclude.
+        """
+        if key < 0:
+            raise ConfigError("keys must be non-negative object ids")
+        carry_key, carry_value, carry_age = int(key), int(value), 0
+        slot = self._slot(carry_key)
+        for _ in range(self.capacity):
+            self.total_probes += 1
+            resident = self._keys[slot]
+            if resident == _EMPTY:
+                self._place(slot, carry_key, carry_value, carry_age, new=True)
+                return
+            if resident == carry_key:
+                if carry_value > self._values[slot]:
+                    self._values[slot] = carry_value
+                return
+            if self.expired_overwrite and self._values[slot] < expire_below:
+                self.expired_overwrites += 1
+                self._place(slot, carry_key, carry_value, carry_age, new=False)
+                return
+            if self._ages[slot] < carry_age:
+                # Robin Hood: the richer resident yields and continues probing.
+                resident_value = int(self._values[slot])
+                resident_age = int(self._ages[slot])
+                self._place(slot, carry_key, carry_value, carry_age, new=False)
+                carry_key, carry_value, carry_age = int(resident), resident_value, resident_age
+                self.evictions += 1
+            slot = (slot + 1) & (self.capacity - 1)
+            carry_age += 1
+        raise ConfigError("hash table overflow: capacity under-provisioned for k * count_bound")
+
+    def _place(self, slot: int, key: int, value: int, age: int, new: bool) -> None:
+        self._keys[slot] = key
+        self._values[slot] = value
+        self._ages[slot] = age
+        if new:
+            self.size += 1
+
+    def get(self, key: int) -> int | None:
+        """Value stored for ``key``, or ``None`` if absent."""
+        slot = self._slot(int(key))
+        for _ in range(self.capacity):
+            resident = self._keys[slot]
+            if resident == _EMPTY:
+                return None
+            if resident == key:
+                return int(self._values[slot])
+            slot = (slot + 1) & (self.capacity - 1)
+        return None
+
+    def scan(self, min_value: int = 0) -> tuple[np.ndarray, np.ndarray]:
+        """One pass over the table: live entries with value >= ``min_value``.
+
+        This is the single homogeneous scan that replaces sorting in GENIE's
+        top-k selection.
+
+        Returns:
+            ``(keys, values)`` arrays (unordered).
+        """
+        live = (self._keys != _EMPTY) & (self._values >= min_value)
+        return self._keys[live].copy(), self._values[live].copy()
+
+    def items(self) -> list[tuple[int, int]]:
+        """All live ``(key, value)`` pairs (unordered)."""
+        keys, values = self.scan()
+        return [(int(k), int(v)) for k, v in zip(keys, values)]

@@ -1,0 +1,162 @@
+"""The GENIE inverted index: List Array + Position Map (Section III-B).
+
+The index stores all postings lists in one flat array destined for GPU
+global memory, and a host-side *position map* from keyword to the address
+range(s) of its list. With load balancing enabled a keyword maps to several
+sublist spans (the one-to-many map of Fig. 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.load_balance import LoadBalanceConfig, split_span
+from repro.core.posting import FlatPostings, build_postings
+from repro.core.types import ID_DTYPE, Corpus
+from repro.errors import IndexError_
+
+#: Bytes the position map costs per span entry (keyword + start + end).
+_POSITION_MAP_ENTRY_BYTES = 24
+
+
+class InvertedIndex:
+    """An inverted index over a keyword corpus.
+
+    Build with :meth:`build`; query through
+    :meth:`spans_for_keyword` / :meth:`spans_for_keywords`, or hand the
+    whole index to :class:`repro.core.engine.GenieEngine`.
+
+    Attributes:
+        list_array: All postings concatenated (object ids).
+        n_objects: Number of objects indexed.
+        load_balance: The splitting configuration used, or ``None``.
+        build_ops: Abstract CPU cost of construction.
+    """
+
+    def __init__(
+        self,
+        list_array: np.ndarray,
+        position_map: dict,
+        n_objects: int,
+        load_balance: LoadBalanceConfig | None,
+        build_ops: float,
+    ):
+        self.list_array = np.asarray(list_array, dtype=ID_DTYPE)
+        self._position_map = position_map
+        self.n_objects = int(n_objects)
+        self.load_balance = load_balance
+        self.build_ops = float(build_ops)
+
+    # ------------------------------------------------------------------
+    # construction
+
+    @classmethod
+    def build(cls, corpus: Corpus, load_balance: LoadBalanceConfig | None = None) -> "InvertedIndex":
+        """Index a corpus, optionally splitting long lists.
+
+        Args:
+            corpus: Objects to index.
+            load_balance: If given, lists longer than
+                ``load_balance.max_sublist_len`` are split into sublists.
+
+        Returns:
+            The built index.
+        """
+        postings = build_postings(corpus)
+        position_map = cls._make_position_map(postings, load_balance)
+        return cls(
+            list_array=postings.list_array,
+            position_map=position_map,
+            n_objects=len(corpus),
+            load_balance=load_balance,
+            build_ops=postings.build_ops,
+        )
+
+    @staticmethod
+    def _make_position_map(postings: FlatPostings, load_balance: LoadBalanceConfig | None) -> dict:
+        position_map: dict[int, list[tuple[int, int]]] = {}
+        for i, keyword in enumerate(postings.keywords):
+            start = int(postings.offsets[i])
+            end = int(postings.offsets[i + 1])
+            if load_balance is None:
+                position_map[int(keyword)] = [(start, end)]
+            else:
+                position_map[int(keyword)] = split_span(start, end, load_balance.max_sublist_len)
+        return position_map
+
+    # ------------------------------------------------------------------
+    # lookups
+
+    @property
+    def keywords(self) -> list[int]:
+        """Keywords that have postings (unsorted view of the map's keys)."""
+        return list(self._position_map.keys())
+
+    @property
+    def num_lists(self) -> int:
+        """Number of (sub-)postings lists after any splitting."""
+        return sum(len(spans) for spans in self._position_map.values())
+
+    @property
+    def max_list_len(self) -> int:
+        """Length of the longest (sub-)postings list."""
+        lengths = [end - start for spans in self._position_map.values() for start, end in spans]
+        return max(lengths, default=0)
+
+    def spans_for_keyword(self, keyword: int) -> list[tuple[int, int]]:
+        """Sublist spans for one keyword (empty if it has no postings)."""
+        return self._position_map.get(int(keyword), [])
+
+    def spans_for_keywords(self, keywords: np.ndarray) -> list[tuple[int, int]]:
+        """Concatenated spans for an array of keywords."""
+        spans: list[tuple[int, int]] = []
+        for kw in np.asarray(keywords).reshape(-1):
+            spans.extend(self._position_map.get(int(kw), []))
+        return spans
+
+    def postings_for_keyword(self, keyword: int) -> np.ndarray:
+        """The full (re-joined) postings list for a keyword."""
+        spans = self.spans_for_keyword(keyword)
+        if not spans:
+            return np.empty(0, dtype=ID_DTYPE)
+        return np.concatenate([self.list_array[s:e] for s, e in spans])
+
+    def gather(self, spans: list[tuple[int, int]]) -> np.ndarray:
+        """Concatenate the object ids covered by ``spans``."""
+        if not spans:
+            return np.empty(0, dtype=ID_DTYPE)
+        return np.concatenate([self.list_array[s:e] for s, e in spans])
+
+    # ------------------------------------------------------------------
+    # sizes
+
+    @property
+    def total_entries(self) -> int:
+        """Entries in the List Array."""
+        return int(self.list_array.size)
+
+    def device_bytes(self) -> int:
+        """Bytes the index occupies in GPU global memory (the List Array)."""
+        return int(self.list_array.nbytes)
+
+    def host_bytes(self) -> int:
+        """Approximate host-side position-map footprint."""
+        return self.num_lists * _POSITION_MAP_ENTRY_BYTES
+
+    def validate(self) -> None:
+        """Check structural invariants; raises on corruption.
+
+        Raises:
+            IndexError_: If spans overlap, leave gaps, or point outside the
+                List Array.
+        """
+        all_spans = sorted(
+            (span for spans in self._position_map.values() for span in spans)
+        )
+        cursor = 0
+        for start, end in all_spans:
+            if start != cursor or end < start:
+                raise IndexError_(f"span ({start},{end}) breaks coverage at {cursor}")
+            cursor = end
+        if cursor != self.total_entries:
+            raise IndexError_(f"spans cover {cursor} of {self.total_entries} entries")

@@ -1,0 +1,59 @@
+"""Reference implementation of the match-count model (Definition 2.1).
+
+This module is the executable specification: slow, obviously-correct Python
+used by tests to validate every accelerated path (inverted-index scan, c-PQ,
+baselines). ``MC(Q, O)`` sums, over the query's items, the number of the
+object's elements contained in each item.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import Corpus, Query
+
+
+def item_count(item: np.ndarray, obj: np.ndarray) -> int:
+    """``C(r_i, O)``: how many of the object's elements item ``r_i`` contains.
+
+    Args:
+        item: Keyword set of one query item.
+        obj: Keyword set of one object.
+
+    Returns:
+        ``|obj ∩ item|``.
+    """
+    if item.size == 0 or obj.size == 0:
+        return 0
+    return int(np.intersect1d(item, obj, assume_unique=False).size)
+
+
+def match_count(query: Query, obj: np.ndarray) -> int:
+    """``MC(Q, O)``: the match-count model of Definition 2.1."""
+    return sum(item_count(item, obj) for item in query.items)
+
+
+def match_counts_all(query: Query, corpus: Corpus) -> np.ndarray:
+    """Match counts of every object in a corpus against one query.
+
+    Returns:
+        An ``int64`` array of length ``len(corpus)``.
+    """
+    return np.asarray([match_count(query, obj) for obj in corpus], dtype=np.int64)
+
+
+def brute_force_topk(query: Query, corpus: Corpus, k: int) -> list[tuple[int, int]]:
+    """Exact top-k under the match-count model, by full scan.
+
+    Ties at the k-th count are broken by ascending object id so the result
+    is deterministic; accelerated paths are tested against the returned
+    *count multiset*, not the id choice within a tie.
+
+    Returns:
+        ``(object_id, count)`` pairs sorted by count descending, id
+        ascending.
+    """
+    counts = match_counts_all(query, corpus)
+    order = np.lexsort((np.arange(len(counts)), -counts))
+    top = order[: max(0, int(k))]
+    return [(int(i), int(counts[i])) for i in top]

@@ -1,0 +1,103 @@
+"""Vectorized top-k selection and c-PQ state derivation.
+
+The batched engine computes each query's final count vector with one
+``bincount`` (functionally identical to scanning postings and incrementing
+counters) and then needs two things:
+
+* the same top-k answer the reference c-PQ would produce, and
+* the c-PQ *state* (final AuditThreshold, Hash-Table population, Gate
+  passes) so the device can be charged a faithful cost.
+
+Both are pure functions of the final counts, because Theorem 3.1 pins the
+final ``AT`` to the k-th count + 1 regardless of scan order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.types import TopKResult
+
+
+def topk_from_counts(counts: np.ndarray, k: int) -> TopKResult:
+    """Exact top-k (count desc, id asc) from a final count vector.
+
+    Only objects with positive counts are returned, matching the reference
+    c-PQ (zero-count objects never enter the Hash Table).
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    k = int(k)
+    n = counts.size
+    if n == 0 or k <= 0:
+        return TopKResult(ids=np.empty(0, dtype=np.int64), counts=np.empty(0, dtype=np.int64))
+    take = min(k, n)
+    threshold = audit_threshold_from_counts(counts, k) - 1
+    # Everything above the k-th count is in; boundary ties (== threshold)
+    # fill the remaining slots by ascending id, deterministically.
+    sure = np.nonzero(counts > threshold)[0]
+    ties = np.nonzero(counts == threshold)[0][: take - sure.size]
+    top_ids = np.concatenate([sure, ties])
+    top_counts = counts[top_ids]
+    order = np.lexsort((top_ids, -top_counts))
+    top_ids, top_counts = top_ids[order], top_counts[order]
+    positive = top_counts > 0
+    return TopKResult(ids=top_ids[positive], counts=top_counts[positive], threshold=threshold)
+
+
+def audit_threshold_from_counts(counts: np.ndarray, k: int) -> int:
+    """The final AuditThreshold: ``MC_k + 1`` by Theorem 3.1.
+
+    ``MC_k`` is the k-th largest count (0 if fewer than k objects exist).
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.size == 0:
+        return 1
+    k = min(int(k), counts.size)
+    kth = np.partition(counts, counts.size - k)[counts.size - k]
+    return int(kth) + 1
+
+
+@dataclass
+class CpqCostState:
+    """Cost-relevant c-PQ statistics derived from a final count vector.
+
+    Attributes:
+        audit_threshold: Final ``AT``.
+        ht_entries: Upper-bound estimate of Hash-Table population
+            (``min(nonzero, k * AT)``, the Theorem 3.1 bound).
+        gate_passes: Estimated Gate passes (Hash-Table write attempts).
+        updates: Total Bitmap-Counter increments (= postings entries
+            scanned for the query).
+    """
+
+    audit_threshold: int
+    ht_entries: int
+    gate_passes: float
+    updates: int
+
+
+def derive_cpq_cost(counts: np.ndarray, k: int) -> CpqCostState:
+    """Derive c-PQ cost statistics from a query's final count vector.
+
+    The Gate-pass estimate counts, for each count level ``c``, at most ``k``
+    objects passing while ``AT == c`` plus all increments made by objects
+    above the final threshold — a faithful stand-in for the scan-order-
+    dependent exact number, and an upper bound of the same order.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    at = audit_threshold_from_counts(counts, k)
+    nonzero = int(np.count_nonzero(counts))
+    ht_entries = min(nonzero, int(k) * at)
+    # Objects whose final count c >= AT-1 contributed ~ (c - AT + 2) passing
+    # updates each; lower objects contributed at most k passes per level.
+    high = counts[counts >= max(at - 1, 1)]
+    passes_high = float(np.sum(high - max(at - 1, 1) + 1)) if high.size else 0.0
+    passes_low = float(min(nonzero, k) * max(at - 1, 0))
+    return CpqCostState(
+        audit_threshold=at,
+        ht_entries=ht_entries,
+        gate_passes=passes_high + passes_low,
+        updates=int(counts.sum()),
+    )

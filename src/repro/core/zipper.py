@@ -1,0 +1,78 @@
+"""The Gate: ZipperArray + AuditThreshold (Section III-C1).
+
+The Gate decides which Bitmap-Counter updates are worth promoting to the
+Hash Table. ``ZA[i]`` tracks (capped at ``k``) how many objects have reached
+count ``i``; the AuditThreshold ``AT`` is the smallest index with
+``ZA[AT] < k``. An update passes the Gate iff its new count is at least
+``AT``. Lemma 3.1's invariant (``ZA[AT] < k`` and ``ZA[AT-1] >= k`` once
+any object reaches ``AT-1``) is maintained by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class Gate:
+    """ZipperArray + AuditThreshold for one query.
+
+    Args:
+        k: Result size the Gate is tuned for.
+        count_bound: Maximum possible match count (sizes the ZipperArray).
+    """
+
+    def __init__(self, k: int, count_bound: int):
+        if k < 1:
+            raise ConfigError("k must be >= 1")
+        if count_bound < 1:
+            raise ConfigError("count_bound must be >= 1")
+        self.k = int(k)
+        self.count_bound = int(count_bound)
+        # 1-based: za[i] corresponds to ZA[i] in the paper; index 0 unused.
+        self._za = np.zeros(self.count_bound + 2, dtype=np.int64)
+        self._at = 1
+        self.passes = 0
+
+    @property
+    def audit_threshold(self) -> int:
+        """The current AuditThreshold ``AT``."""
+        return self._at
+
+    def za(self, i: int) -> int:
+        """``min(zc_i, k)`` — the ZipperArray entry for count value ``i``."""
+        return int(min(self._za[i], self.k))
+
+    def offer(self, new_count: int) -> bool:
+        """Run lines 3–7 of Algorithm 1 for a counter that reached ``new_count``.
+
+        Args:
+            new_count: The value just produced by a Bitmap-Counter increment.
+
+        Returns:
+            ``True`` if the update passes the Gate (the caller must then
+            insert/update the Hash-Table entry), else ``False``.
+        """
+        if new_count < 0 or new_count > self.count_bound:
+            raise ConfigError(
+                f"count {new_count} outside [0, {self.count_bound}]; count bound too small?"
+            )
+        if new_count < self._at:
+            return False
+        self.passes += 1
+        self._za[new_count] += 1
+        while self._at <= self.count_bound and self._za[self._at] >= self.k:
+            self._at += 1
+        return True
+
+    def check_invariant(self) -> None:
+        """Assert Lemma 3.1: ``ZA[AT] < k``, and ``ZA[AT-1] >= k`` if AT > 1.
+
+        Raises:
+            AssertionError: If the invariant is violated.
+        """
+        if self._at <= self.count_bound:
+            assert self._za[self._at] < self.k, "ZA[AT] must stay below k"
+        if self._at > 1:
+            assert self._za[self._at - 1] >= self.k, "ZA[AT-1] must have reached k"

@@ -1,0 +1,107 @@
+"""Adult-census-like relational data: mixed, skewed columns.
+
+Stands in for the UCI Adult table (49K x 14, duplicated x20 in the paper).
+The load-balance experiment (Fig. 12) depends on *skewed low-cardinality
+categorical columns* — e.g. ``sex`` with two values over a million rows
+yields postings lists half the table long — so the generator makes that
+skew explicit and tunable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sa.relational import AttributeSpec
+
+#: Schema used by the Adult-like generator: (name, kind, cardinality-or-bins).
+ADULT_SCHEMA: tuple[tuple[str, str, int], ...] = (
+    ("age", "numeric", 64),
+    ("fnlwgt", "numeric", 64),
+    ("education_num", "numeric", 16),
+    ("capital_gain", "numeric", 64),
+    ("capital_loss", "numeric", 64),
+    ("hours_per_week", "numeric", 64),
+    ("workclass", "categorical", 7),
+    ("education", "categorical", 16),
+    ("marital_status", "categorical", 7),
+    ("occupation", "categorical", 14),
+    ("relationship", "categorical", 6),
+    ("race", "categorical", 5),
+    ("sex", "categorical", 2),
+    ("native_country", "categorical", 40),
+)
+
+
+def adult_schema(numeric_bins: int = 64) -> list[AttributeSpec]:
+    """The :class:`AttributeSpec` schema matching :func:`make_adult_like`."""
+    return [
+        AttributeSpec(name, kind, bins=numeric_bins if kind == "numeric" else cardinality)
+        for name, kind, cardinality in ADULT_SCHEMA
+    ]
+
+
+def make_adult_like(n: int = 20_000, seed: int = 0) -> dict[str, np.ndarray]:
+    """Generate an Adult-like table as ``{column: values}``.
+
+    Numeric columns are skewed (log-normal-ish) like census quantities;
+    categorical columns draw from heavily skewed distributions so the most
+    common category's postings list is a large fraction of the table.
+
+    Args:
+        n: Number of rows.
+        seed: RNG seed.
+    """
+    rng = np.random.default_rng(seed)
+    columns: dict[str, np.ndarray] = {}
+    for name, kind, cardinality in ADULT_SCHEMA:
+        if kind == "numeric":
+            base = rng.lognormal(mean=3.0, sigma=0.5, size=n)
+            columns[name] = base / base.max() * 100.0
+        else:
+            weights = 1.0 / np.arange(1, cardinality + 1) ** 1.5
+            weights /= weights.sum()
+            columns[name] = rng.choice(cardinality, size=n, p=weights).astype(np.int64)
+    return columns
+
+
+def make_exact_match_queries(
+    columns: dict[str, np.ndarray], n_queries: int, seed: int = 0
+) -> list[dict[str, tuple]]:
+    """Exact-match queries over sampled rows (the Fig. 12 workload).
+
+    Every attribute of a sampled row becomes a point range, which touches
+    the skewed columns' long postings lists on every query.
+    """
+    rng = np.random.default_rng(seed)
+    n = len(next(iter(columns.values())))
+    rows = rng.choice(n, size=min(n_queries, n), replace=False)
+    queries = []
+    for row in rows:
+        ranges = {name: (values[int(row)], values[int(row)]) for name, values in columns.items()}
+        queries.append(ranges)
+    return queries
+
+
+def make_range_queries(
+    columns: dict[str, np.ndarray],
+    n_queries: int,
+    numeric_halfwidth: float = 5.0,
+    seed: int = 0,
+) -> list[dict[str, tuple]]:
+    """Range queries centered on sampled rows (the paper's +-50-bin protocol,
+    scaled to the generator's 0-100 numeric range)."""
+    rng = np.random.default_rng(seed)
+    n = len(next(iter(columns.values())))
+    rows = rng.choice(n, size=min(n_queries, n), replace=False)
+    kinds = dict((name, kind) for name, kind, _ in ADULT_SCHEMA)
+    queries = []
+    for row in rows:
+        ranges: dict[str, tuple] = {}
+        for name, values in columns.items():
+            v = values[int(row)]
+            if kinds[name] == "numeric":
+                ranges[name] = (v - numeric_halfwidth, v + numeric_halfwidth)
+            else:
+                ranges[name] = (v, v)
+        queries.append(ranges)
+    return queries

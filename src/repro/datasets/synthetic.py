@@ -1,0 +1,143 @@
+"""Synthetic high-dimensional point datasets (OCR- and SIFT-like).
+
+The paper's OCR (3.5M x 1156-d, labeled) and SIFT (4.5M x 128-d) datasets
+are replaced by seeded generators producing the same *structure* at laptop
+scale: clustered points whose nearest-neighbour geometry is non-trivial,
+plus class labels for the OCR 1-NN classification experiment (Table V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class PointDataset:
+    """A labeled point dataset with a held-out query set.
+
+    Attributes:
+        data: ``(n, d)`` float64 data points.
+        queries: ``(q, d)`` float64 query points (held out of ``data``).
+        labels: Class labels of ``data`` (or ``None``).
+        query_labels: Class labels of ``queries`` (or ``None``).
+    """
+
+    data: np.ndarray
+    queries: np.ndarray
+    labels: np.ndarray | None = None
+    query_labels: np.ndarray | None = None
+
+    @property
+    def dim(self) -> int:
+        """Point dimensionality."""
+        return int(self.data.shape[1])
+
+    def __len__(self) -> int:
+        return int(self.data.shape[0])
+
+
+def make_sift_like(
+    n: int = 20_000,
+    n_queries: int = 100,
+    dim: int = 128,
+    n_clusters: int = 64,
+    cluster_std: float = 0.35,
+    seed: int = 0,
+) -> PointDataset:
+    """A SIFT-like mixture of Gaussians.
+
+    Real SIFT features concentrate on cluster-like manifolds; a Gaussian
+    mixture reproduces the property that matters for ANN evaluation —
+    queries have close true neighbours and plenty of near-misses.
+
+    Args:
+        n: Data points.
+        n_queries: Held-out query points (drawn from the same mixture).
+        dim: Dimensionality (128, as SIFT).
+        n_clusters: Mixture components.
+        cluster_std: Within-cluster standard deviation.
+        seed: RNG seed.
+    """
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((n_clusters, dim))
+    total = n + n_queries
+    assignment = rng.integers(0, n_clusters, size=total)
+    points = centers[assignment] + cluster_std * rng.standard_normal((total, dim))
+    return PointDataset(data=points[:n], queries=points[n:])
+
+
+def make_ocr_like(
+    n: int = 10_000,
+    n_queries: int = 500,
+    dim: int = 96,
+    n_classes: int = 26,
+    cluster_std: float = 1.0,
+    seed: int = 0,
+) -> PointDataset:
+    """An OCR-like labeled dataset for the 1-NN prediction experiment.
+
+    Each class is a cluster with a couple of sub-modes (characters have
+    writing variants), values shifted non-negative like pixel intensities.
+
+    Args:
+        n: Data points.
+        n_queries: Held-out test points.
+        dim: Dimensionality (scaled down from the paper's 1156).
+        n_classes: Number of character classes.
+        cluster_std: Within-class spread; larger values make 1-NN harder.
+        seed: RNG seed.
+    """
+    rng = np.random.default_rng(seed)
+    modes_per_class = 2
+    centers = 2.0 * rng.standard_normal((n_classes, modes_per_class, dim))
+    total = n + n_queries
+    labels = rng.integers(0, n_classes, size=total)
+    modes = rng.integers(0, modes_per_class, size=total)
+    points = centers[labels, modes] + cluster_std * rng.standard_normal((total, dim))
+    points = np.abs(points)  # intensity-like, non-negative
+    return PointDataset(
+        data=points[:n],
+        queries=points[n:],
+        labels=labels[:n],
+        query_labels=labels[n:],
+    )
+
+
+def true_knn(
+    data: np.ndarray, queries: np.ndarray, k: int, p: int = 2, block: int = 256
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact k-NN by blocked brute force (ground truth for evaluations).
+
+    Args:
+        data: ``(n, d)`` data points.
+        queries: ``(q, d)`` query points.
+        k: Neighbours per query.
+        p: lp norm (1 or 2).
+        block: Queries per distance-matrix block (memory control).
+
+    Returns:
+        ``(ids, distances)`` of shape ``(q, k)``, ascending by distance.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    all_ids = []
+    all_d = []
+    for start in range(0, queries.shape[0], block):
+        chunk = queries[start : start + block]
+        if p == 2:
+            d2 = (
+                np.sum(chunk**2, axis=1)[:, None]
+                - 2.0 * chunk @ data.T
+                + np.sum(data**2, axis=1)[None, :]
+            )
+            distances = np.sqrt(np.maximum(d2, 0.0))
+        else:
+            distances = np.abs(chunk[:, None, :] - data[None, :, :]).sum(axis=2)
+        idx = np.argpartition(distances, min(k, data.shape[0] - 1), axis=1)[:, :k]
+        row_d = np.take_along_axis(distances, idx, axis=1)
+        order = np.argsort(row_d, axis=1, kind="stable")
+        all_ids.append(np.take_along_axis(idx, order, axis=1))
+        all_d.append(np.take_along_axis(row_d, order, axis=1))
+    return np.vstack(all_ids), np.vstack(all_d)

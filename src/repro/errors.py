@@ -1,0 +1,43 @@
+"""Exception hierarchy for the GENIE reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch one base class. Subclasses mirror the major subsystems:
+the simulated GPU device, index construction, and query execution.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class GpuError(ReproError):
+    """Base class for simulated-GPU failures."""
+
+
+class GpuOutOfMemoryError(GpuError):
+    """Raised when an allocation would exceed the device's global memory."""
+
+    def __init__(self, requested, used, capacity):
+        self.requested = int(requested)
+        self.used = int(used)
+        self.capacity = int(capacity)
+        super().__init__(
+            f"cannot allocate {self.requested} bytes: "
+            f"{self.used}/{self.capacity} bytes already in use"
+        )
+
+
+class GpuAllocationError(GpuError):
+    """Raised on invalid allocation handling (double free, stale handle)."""
+
+
+class IndexError_(ReproError):
+    """Raised when an inverted index is built from or queried with bad input."""
+
+
+class QueryError(ReproError):
+    """Raised when a query is malformed for the index it is issued against."""
+
+
+class ConfigError(ReproError):
+    """Raised when an engine or structure is configured inconsistently."""

@@ -1,0 +1,55 @@
+"""Experiment harness: one module per figure/table of the paper.
+
+Each module exposes ``run(...) -> ResultTable`` (or a tuple of tables) and
+is runnable directly (``python -m repro.experiments.fig9_time_vs_queries``).
+The benchmarks under ``benchmarks/`` call these runners and print their
+tables.
+"""
+
+from repro.experiments import (
+    ablations,
+    fig8_hash_functions,
+    fig9_time_vs_queries,
+    fig10_time_vs_cardinality,
+    fig11_large_batches,
+    fig12_load_balance,
+    fig13_cpq_effect,
+    fig14_approx_ratio,
+    table1_profiling,
+    table2_multiload,
+    table4_memory,
+    table5_ocr_prediction,
+    table6_dblp_accuracy,
+    table7_sequence_k,
+)
+from repro.experiments.metrics import (
+    approximation_ratio,
+    batch_approximation_ratio,
+    classification_report,
+    recall_at_k,
+    top1_accuracy,
+)
+from repro.experiments.table import ResultTable
+
+__all__ = [
+    "ResultTable",
+    "approximation_ratio",
+    "batch_approximation_ratio",
+    "classification_report",
+    "recall_at_k",
+    "top1_accuracy",
+    "fig8_hash_functions",
+    "fig9_time_vs_queries",
+    "fig10_time_vs_cardinality",
+    "fig11_large_batches",
+    "fig12_load_balance",
+    "fig13_cpq_effect",
+    "fig14_approx_ratio",
+    "table1_profiling",
+    "table2_multiload",
+    "table4_memory",
+    "table5_ocr_prediction",
+    "table6_dblp_accuracy",
+    "table7_sequence_k",
+    "ablations",
+]

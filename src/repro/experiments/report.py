@@ -1,0 +1,131 @@
+"""One-shot reproduction report: run every figure/table and print the lot.
+
+Usage::
+
+    python -m repro.experiments.report            # quick scales (default)
+    python -m repro.experiments.report --full     # benchmark scales
+
+The same runners back the pytest benchmarks; this entry point is for a
+human who wants the whole evaluation in one terminal scroll.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ablations,
+    fig8_hash_functions,
+    fig9_time_vs_queries,
+    fig10_time_vs_cardinality,
+    fig11_large_batches,
+    fig12_load_balance,
+    fig13_cpq_effect,
+    fig14_approx_ratio,
+    table1_profiling,
+    table2_multiload,
+    table4_memory,
+    table5_ocr_prediction,
+    table6_dblp_accuracy,
+    table7_sequence_k,
+)
+
+#: (label, callable) for each experiment, in paper order. Each callable
+#: takes a ``full`` flag and returns one table or a tuple of tables.
+_EXPERIMENTS = [
+    ("Fig. 8", lambda full: fig8_hash_functions.run()),
+    (
+        "Fig. 9",
+        lambda full: fig9_time_vs_queries.run(
+            query_counts=(32, 64, 128, 256) if full else (32, 64), n=3000 if full else 1000
+        ),
+    ),
+    (
+        "Fig. 10",
+        lambda full: fig10_time_vs_cardinality.run(
+            cardinalities=(1000, 2000, 4000) if full else (500, 1000),
+            n_queries=128 if full else 32,
+        ),
+    ),
+    (
+        "Fig. 11",
+        lambda full: fig11_large_batches.run(
+            n=3000 if full else 1000,
+            query_counts=(256, 512, 1024, 2048) if full else (128, 256),
+        ),
+    ),
+    ("Fig. 12", lambda full: fig12_load_balance.run(n=30_000 if full else 10_000)),
+    (
+        "Fig. 13",
+        lambda full: fig13_cpq_effect.run(
+            query_counts=(32, 128) if full else (32,), n=3000 if full else 1000
+        ),
+    ),
+    (
+        "Fig. 14",
+        lambda full: fig14_approx_ratio.run(
+            n=2500 if full else 1200, n_queries=48 if full else 16
+        ),
+    ),
+    ("Table I", lambda full: table1_profiling.run(n_queries=256 if full else 32, n=3000 if full else 800)),
+    (
+        "Tables II+III",
+        lambda full: table2_multiload.run(
+            sizes=(4000, 8000, 16000) if full else (1000, 2000),
+            part_size=4000 if full else 1000,
+            n_queries=128 if full else 16,
+        ),
+    ),
+    ("Table IV", lambda full: table4_memory.run()),
+    (
+        "Table V",
+        lambda full: table5_ocr_prediction.run(n=3000 if full else 1200, n_queries=200 if full else 80),
+    ),
+    (
+        "Table VI",
+        lambda full: table6_dblp_accuracy.run(n=2000 if full else 600, n_queries=96 if full else 24),
+    ),
+    (
+        "Table VII",
+        lambda full: table7_sequence_k.run(
+            n=1500 if full else 500,
+            n_queries=48 if full else 12,
+            candidate_ks=(8, 16, 32, 64, 128, 256) if full else (8, 32),
+        ),
+    ),
+    ("Ablation: bitmap width", lambda full: ablations.run_bitmap_width()),
+    ("Ablation: Robin Hood", lambda full: ablations.run_robin_hood()),
+    (
+        "Ablation: sublist length",
+        lambda full: ablations.run_sublist_length(n=30_000 if full else 10_000),
+    ),
+    (
+        "Ablation: re-hash domain",
+        lambda full: ablations.run_rehash_domain(n=2500 if full else 800, n_queries=32 if full else 8),
+    ),
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the full reproduction report; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="benchmark-scale runs (slower)")
+    args = parser.parse_args(argv)
+
+    start = time.time()
+    for label, runner in _EXPERIMENTS:
+        t0 = time.time()
+        result = runner(args.full)
+        tables = result if isinstance(result, tuple) else (result,)
+        for table in tables:
+            print(table.format())
+            print()
+        print(f"[{label} regenerated in {time.time() - t0:.1f}s wall]\n")
+    print(f"All experiments regenerated in {time.time() - start:.1f}s wall clock.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

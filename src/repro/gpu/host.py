@@ -1,0 +1,65 @@
+"""Host-CPU cost accounting for the CPU-side baselines and pipeline steps.
+
+CPU competitors in the paper (CPU-Idx, CPU-LSH, AppGram) and GENIE's own
+host-side steps (index build, final merge in multi-loading) are charged
+against this model so all reported numbers live on one simulated clock.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.gpu.specs import I7_3820, HostSpec
+from repro.gpu.stats import StageTimings
+
+
+class HostCpu:
+    """A simulated host CPU with staged timing.
+
+    Args:
+        spec: CPU description; defaults to the i7-3820-class profile.
+        cores: Cores the workload may use (paper baselines are
+            single-threaded, so 1 by default).
+    """
+
+    def __init__(self, spec: HostSpec = I7_3820, cores: int = 1):
+        if cores < 1 or cores > spec.num_cores:
+            raise ValueError(f"cores must be in [1, {spec.num_cores}]")
+        self.spec = spec
+        self.cores = cores
+        self.timings = StageTimings()
+        self._stage = "match"
+
+    @contextmanager
+    def stage(self, name: str):
+        """Scope subsequent charges to pipeline stage ``name``."""
+        previous = self._stage
+        self._stage = name
+        try:
+            yield self
+        finally:
+            self._stage = previous
+
+    def charge_ops(self, n_ops: float, stage: str | None = None) -> float:
+        """Charge ``n_ops`` simple operations; returns the seconds added."""
+        if n_ops < 0:
+            raise ValueError("negative op count")
+        seconds = n_ops / (self.spec.ops_per_second * self.cores)
+        self.timings.add(stage or self._stage, seconds)
+        return seconds
+
+    def charge_bytes(self, nbytes: float, stage: str | None = None) -> float:
+        """Charge a memory-bandwidth-bound pass over ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("negative byte count")
+        seconds = nbytes / self.spec.mem_bandwidth
+        self.timings.add(stage or self._stage, seconds)
+        return seconds
+
+    def charge_seconds(self, seconds: float, stage: str | None = None) -> None:
+        """Charge raw simulated seconds."""
+        self.timings.add(stage or self._stage, seconds)
+
+    def reset_timings(self) -> None:
+        """Zero all stage timers."""
+        self.timings = StageTimings()

@@ -1,0 +1,123 @@
+"""Hardware specifications for the simulated GPU and host CPU.
+
+The paper evaluates GENIE on an NVIDIA GeForce GTX Titan X (12 GB, CUDA 7)
+paired with an Intel Core i7-3820. We reproduce that pairing as two small
+spec dataclasses. The numbers below are the published characteristics of
+those parts; the simulator only uses them through the analytic cost model in
+:mod:`repro.gpu.device`, so what matters for reproduction is their *ratios*
+(GPU memory bandwidth ~15x CPU bandwidth, thousands of GPU lanes versus a
+handful of CPU cores), not the absolute values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GIB = 1024**3
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a simulated GPU.
+
+    Attributes:
+        name: Human-readable device name.
+        num_sms: Number of streaming multiprocessors.
+        cores_per_sm: CUDA cores per SM; bounds how many threads of a block
+            make progress per cycle.
+        clock_hz: Core clock in Hz.
+        warp_size: Threads per warp (SIMD width).
+        max_threads_per_block: Hard CUDA limit on block size.
+        global_mem_bytes: Global memory capacity.
+        mem_bandwidth: Global memory bandwidth in bytes/second.
+        pcie_bandwidth: Host<->device transfer bandwidth in bytes/second.
+        constant_mem_bytes: Constant memory capacity (GPU-LSH stores its
+            random vectors here, which caps its hash-function count).
+    """
+
+    name: str = "sim-titan-x"
+    num_sms: int = 24
+    cores_per_sm: int = 128
+    clock_hz: float = 1.0e9
+    warp_size: int = 32
+    max_threads_per_block: int = 1024
+    global_mem_bytes: int = 12 * GIB
+    mem_bandwidth: float = 336.5e9
+    pcie_bandwidth: float = 12.0e9
+    constant_mem_bytes: int = 64 * 1024
+
+    @property
+    def total_cores(self) -> int:
+        """Total CUDA cores across all SMs."""
+        return self.num_sms * self.cores_per_sm
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation cycle costs used by the analytic timing model.
+
+    These are coarse but deliberately so: the paper's claims are about
+    *relative* costs (one hash-table scan versus a multi-pass k-selection,
+    coalesced versus scattered access, atomic contention on hot counters),
+    and each of those effects maps onto one knob here.
+    """
+
+    cycles_per_op: float = 1.0
+    cycles_per_mem_transaction: float = 4.0
+    atomic_base_cycles: float = 8.0
+    atomic_conflict_cycles: float = 24.0
+    divergence_penalty_cycles: float = 16.0
+    mem_transaction_bytes: int = 128
+
+    def transactions(self, nbytes: float, coalesced: bool = True) -> float:
+        """Number of memory transactions needed to move ``nbytes``.
+
+        Uncoalesced access wastes most of each 128-byte transaction; the
+        model charges one transaction per 4-byte word in that case.
+        """
+        if nbytes <= 0:
+            return 0.0
+        if coalesced:
+            return max(1.0, nbytes / self.mem_transaction_bytes)
+        return max(1.0, nbytes / 4.0)
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Static description of the simulated host CPU (Core i7-3820 class).
+
+    Attributes:
+        name: Human-readable name.
+        num_cores: Physical cores. CPU baselines in the paper are
+            single-threaded, so they use one core unless stated otherwise.
+        ops_per_second: Simple operations retired per second per core.
+        mem_bandwidth: Main-memory bandwidth in bytes/second.
+    """
+
+    name: str = "sim-i7-3820"
+    num_cores: int = 4
+    ops_per_second: float = 2.0e9
+    mem_bandwidth: float = 25.0e9
+
+
+#: Default device used throughout examples, tests and benchmarks.
+TITAN_X = DeviceSpec()
+
+#: Default host CPU paired with :data:`TITAN_X`.
+I7_3820 = HostSpec()
+
+#: Default cycle-cost model.
+DEFAULT_COSTS = CostModel()
+
+
+def small_device(mem_bytes: int = 64 * 1024**2) -> DeviceSpec:
+    """A deliberately tiny device for tests that exercise memory limits.
+
+    Args:
+        mem_bytes: Global memory capacity to give the toy device.
+
+    Returns:
+        A :class:`DeviceSpec` identical to :data:`TITAN_X` except for a
+        small global memory.
+    """
+    return DeviceSpec(name="sim-small", global_mem_bytes=int(mem_bytes))

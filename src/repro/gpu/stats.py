@@ -1,0 +1,131 @@
+"""Counters and timing reports produced by the simulated device.
+
+Two layers of accounting exist:
+
+* :class:`KernelStats` — raw operation counts for a single kernel launch
+  (memory transactions, atomics, divergence events, ...).
+* :class:`StageTimings` — wall-clock-equivalent simulated seconds grouped by
+  pipeline stage (``index_build``, ``index_transfer``, ``query_transfer``,
+  ``match``, ``select``), mirroring Table I of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Stage names used by the GENIE pipeline, in Table-I order.
+STAGES = ("index_build", "index_transfer", "query_transfer", "match", "select")
+
+
+@dataclass
+class KernelStats:
+    """Operation counts accumulated during one kernel launch.
+
+    Attributes:
+        name: Kernel name, for reporting.
+        blocks: Number of thread blocks launched.
+        ops: Plain arithmetic/compare operations executed.
+        bytes_read: Bytes read from global memory.
+        bytes_written: Bytes written to global memory.
+        uncoalesced_bytes: Subset of traffic that was scattered (charged at
+            one transaction per word).
+        atomic_ops: Atomic read-modify-write operations issued.
+        atomic_conflicts: Extra serialized retries caused by address
+            contention.
+        divergent_warps: Warp-serialization events from branch divergence.
+        elapsed_seconds: Simulated execution time assigned by the device.
+    """
+
+    name: str = ""
+    blocks: int = 0
+    ops: float = 0.0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    uncoalesced_bytes: float = 0.0
+    atomic_ops: float = 0.0
+    atomic_conflicts: float = 0.0
+    divergent_warps: float = 0.0
+    elapsed_seconds: float = 0.0
+
+    def merge(self, other: "KernelStats") -> None:
+        """Accumulate another launch's counters into this one."""
+        self.blocks += other.blocks
+        self.ops += other.ops
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        self.uncoalesced_bytes += other.uncoalesced_bytes
+        self.atomic_ops += other.atomic_ops
+        self.atomic_conflicts += other.atomic_conflicts
+        self.divergent_warps += other.divergent_warps
+        self.elapsed_seconds += other.elapsed_seconds
+
+    @property
+    def total_bytes(self) -> float:
+        """Total global-memory traffic of the launch."""
+        return self.bytes_read + self.bytes_written
+
+
+@dataclass
+class StageTimings:
+    """Simulated seconds spent in each pipeline stage.
+
+    The mapping mirrors Table I of the paper; unknown stage names are
+    allowed so experiments can add their own (e.g. ``verify`` for the
+    DBLP edit-distance verification).
+    """
+
+    seconds: dict = field(default_factory=dict)
+
+    def add(self, stage: str, seconds: float) -> None:
+        """Charge ``seconds`` of simulated time to ``stage``."""
+        if seconds < 0:
+            raise ValueError(f"negative stage time: {seconds}")
+        self.seconds[stage] = self.seconds.get(stage, 0.0) + float(seconds)
+
+    def get(self, stage: str) -> float:
+        """Simulated seconds charged to ``stage`` (0.0 if never charged)."""
+        return self.seconds.get(stage, 0.0)
+
+    @property
+    def total(self) -> float:
+        """Total simulated seconds across all stages."""
+        return sum(self.seconds.values())
+
+    def query_total(self) -> float:
+        """Total excluding the one-off ``index_build`` stage.
+
+        The paper excludes offline index construction from query timings;
+        this helper applies the same convention.
+        """
+        return sum(v for k, v in self.seconds.items() if k != "index_build")
+
+    def merge(self, other: "StageTimings") -> None:
+        """Accumulate another report into this one."""
+        for stage, seconds in other.seconds.items():
+            self.add(stage, seconds)
+
+    def copy(self) -> "StageTimings":
+        """An independent copy of this report."""
+        return StageTimings(seconds=dict(self.seconds))
+
+    def as_row(self) -> dict:
+        """The canonical stages as a flat dict, for table rendering."""
+        row = {stage: self.get(stage) for stage in STAGES}
+        for stage in self.seconds:
+            if stage not in row:
+                row[stage] = self.seconds[stage]
+        return row
+
+
+def timings_delta(before: StageTimings, after: StageTimings) -> StageTimings:
+    """Per-stage difference ``after - before`` (negative deltas dropped).
+
+    Systems snapshot their clock's timings around a call to report a
+    per-call profile while the underlying clock keeps accumulating.
+    """
+    delta = StageTimings()
+    for stage, seconds in after.seconds.items():
+        diff = seconds - before.get(stage)
+        if diff > 0:
+            delta.add(stage, diff)
+    return delta

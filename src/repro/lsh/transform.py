@@ -1,0 +1,128 @@
+"""LSH-to-GENIE transformation and the high-level tau-ANN index.
+
+:class:`LshTransformer` turns points into GENIE objects/queries: point
+``p`` becomes ``[r_1(h_1(p)), ..., r_m(h_m(p))]`` with keyword
+``i * D + bucket`` for function ``i`` (Section IV-A1). On top of it,
+:class:`TauAnnIndex` is the user-facing ANN index: fit points, query
+points, get back neighbor ids with match counts and the MLE similarity
+estimate ``c/m``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.engine import GenieConfig, GenieEngine
+from repro.core.types import Corpus, Query, TopKResult
+from repro.errors import ConfigError, QueryError
+from repro.gpu.device import Device
+from repro.gpu.host import HostCpu
+from repro.lsh.family import LshFamily
+from repro.lsh.rehash import ReHasher
+
+#: Default re-hash bucket domain (the paper uses 8192 for OCR).
+DEFAULT_DOMAIN = 8192
+
+
+class LshTransformer:
+    """Points -> GENIE keyword sets, via hash + re-hash.
+
+    Args:
+        family: The LSH family supplying ``h_1 .. h_m``.
+        domain: Re-hash bucket domain ``D``.
+        seed: Seed for the re-hash projections.
+    """
+
+    def __init__(self, family: LshFamily, domain: int = DEFAULT_DOMAIN, seed: int = 0):
+        self.family = family
+        self.domain = int(domain)
+        self.rehasher = ReHasher(family.num_functions, self.domain, seed=seed)
+
+    @property
+    def num_functions(self) -> int:
+        """Number of LSH functions ``m``."""
+        return self.family.num_functions
+
+    def keyword_matrix(self, points) -> np.ndarray:
+        """``(n, m)`` keyword matrix for a batch of points."""
+        return self.rehasher.keywords(self.family.hash_points(points))
+
+    def to_corpus(self, points) -> Corpus:
+        """Transform data points into a GENIE corpus."""
+        return Corpus(list(self.keyword_matrix(points)))
+
+    def to_queries(self, points) -> list[Query]:
+        """Transform query points into GENIE queries (one item per function)."""
+        return [Query.from_keywords(row) for row in self.keyword_matrix(points)]
+
+
+class TauAnnIndex:
+    """Tau-ANN search on GENIE (Theorem 4.2).
+
+    Args:
+        family: LSH family matching the target similarity measure.
+        domain: Re-hash domain ``D``; larger D lowers the ``1/D`` false-
+            collision term of Theorem 4.1.
+        device: Simulated GPU; a fresh one when omitted.
+        host: Simulated host CPU.
+        config: Engine configuration; ``count_bound`` is forced to ``m``.
+        seed: Re-hash seed.
+    """
+
+    def __init__(
+        self,
+        family: LshFamily,
+        domain: int = DEFAULT_DOMAIN,
+        device: Device | None = None,
+        host: HostCpu | None = None,
+        config: GenieConfig | None = None,
+        seed: int = 0,
+    ):
+        self.transformer = LshTransformer(family, domain=domain, seed=seed)
+        base = config if config is not None else GenieConfig()
+        self.engine = GenieEngine(
+            device=device,
+            host=host,
+            config=base.with_(count_bound=family.num_functions),
+        )
+        self._points: np.ndarray | None = None
+
+    @property
+    def num_functions(self) -> int:
+        """Number of LSH functions ``m``."""
+        return self.transformer.num_functions
+
+    def fit(self, points: np.ndarray) -> "TauAnnIndex":
+        """Hash, re-hash and index the data points."""
+        points = np.atleast_2d(np.asarray(points))
+        if points.shape[0] == 0:
+            raise ConfigError("cannot fit an empty point set")
+        self._points = points
+        self.engine.fit(self.transformer.to_corpus(points))
+        return self
+
+    def query(self, query_points: np.ndarray, k: int | None = None) -> list[TopKResult]:
+        """Batched tau-ANN search; top result per query is the tau-ANN."""
+        if self._points is None:
+            raise QueryError("index must be fitted before querying")
+        queries = self.transformer.to_queries(np.atleast_2d(np.asarray(query_points)))
+        return self.engine.query(queries, k=k)
+
+    def search(self, query_points: np.ndarray, k: int | None = None):
+        """Search and attach similarity estimates.
+
+        Returns:
+            A list of ``(ids, counts, estimates)`` triples, where
+            ``estimates = counts / m`` is the MLE of the similarity
+            (Eqn. 7).
+        """
+        results = self.query(query_points, k=k)
+        m = float(self.num_functions)
+        return [(r.ids, r.counts, r.counts / m) for r in results]
+
+    @property
+    def points(self) -> np.ndarray:
+        """The indexed points (used by evaluations to compute true distances)."""
+        if self._points is None:
+            raise QueryError("index is not fitted")
+        return self._points

@@ -1,0 +1,48 @@
+"""Shotgun-and-Assembly front-ends: sequences, documents, relational tables.
+
+Typical use::
+
+    from repro.sa import SequenceIndex
+
+    index = SequenceIndex(n=3).fit(titles)
+    result = index.search("approximate string matcing", k=1, n_candidates=32)
+    print(result.best, result.certified)
+"""
+
+from repro.sa.document import DEFAULT_STOPWORDS, DocumentIndex, WordVocabulary, tokenize
+from repro.sa.edit_distance import edit_distance, edit_distance_bounded, edit_distance_ops
+from repro.sa.ngram import NgramVocabulary, common_gram_count, count_filter_bound, ordered_ngrams
+from repro.sa.relational import (
+    PAPER_NUM_BINS,
+    AttributeSpec,
+    Discretizer,
+    RelationalIndex,
+)
+from repro.sa.sequence import (
+    PAPER_K_CANDIDATES,
+    SequenceIndex,
+    SequenceMatch,
+    SequenceSearchResult,
+)
+
+__all__ = [
+    "ordered_ngrams",
+    "common_gram_count",
+    "count_filter_bound",
+    "NgramVocabulary",
+    "edit_distance",
+    "edit_distance_bounded",
+    "edit_distance_ops",
+    "SequenceIndex",
+    "SequenceMatch",
+    "SequenceSearchResult",
+    "PAPER_K_CANDIDATES",
+    "DocumentIndex",
+    "WordVocabulary",
+    "tokenize",
+    "DEFAULT_STOPWORDS",
+    "RelationalIndex",
+    "AttributeSpec",
+    "Discretizer",
+    "PAPER_NUM_BINS",
+]

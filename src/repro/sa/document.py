@@ -1,0 +1,108 @@
+"""Short-document similarity search (Section V-B).
+
+Documents are shredded into words; the match count between two documents is
+then exactly the inner product of their binary vector-space representations.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.core.engine import GenieConfig, GenieEngine
+from repro.core.types import Corpus, Query, TopKResult
+from repro.errors import QueryError
+from repro.gpu.device import Device
+from repro.gpu.host import HostCpu
+
+_TOKEN_RE = re.compile(r"[a-z0-9']+")
+
+#: A small English stop-word list (the paper removes stop words from tweets).
+DEFAULT_STOPWORDS = frozenset(
+    "a an and are as at be by for from has he in is it its of on or that the "
+    "this to was were will with i you we they she him her them my your our".split()
+)
+
+
+def tokenize(text: str, stopwords: frozenset[str] = DEFAULT_STOPWORDS) -> list[str]:
+    """Lowercase word tokens with stop words removed."""
+    return [tok for tok in _TOKEN_RE.findall(text.lower()) if tok not in stopwords]
+
+
+class WordVocabulary:
+    """Word -> keyword id map."""
+
+    def __init__(self):
+        self._ids: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def encode(self, tokens: list[str], grow: bool = True) -> np.ndarray:
+        """Keyword ids of distinct tokens (binary vector-space model)."""
+        keywords = []
+        for token in dict.fromkeys(tokens):  # preserves order, dedupes
+            kw = self._ids.get(token)
+            if kw is None and grow:
+                kw = len(self._ids)
+                self._ids[token] = kw
+            if kw is not None:
+                keywords.append(kw)
+        return np.asarray(keywords, dtype=np.int64)
+
+
+class DocumentIndex:
+    """GENIE-backed short-document search.
+
+    The returned match count of a result equals the inner product between
+    the query's and the document's binary word vectors.
+
+    Args:
+        device: Simulated GPU.
+        host: Simulated host CPU.
+        config: Engine configuration.
+        stopwords: Words to drop at tokenization time.
+    """
+
+    def __init__(
+        self,
+        device: Device | None = None,
+        host: HostCpu | None = None,
+        config: GenieConfig | None = None,
+        stopwords: frozenset[str] = DEFAULT_STOPWORDS,
+    ):
+        self.vocabulary = WordVocabulary()
+        self.stopwords = stopwords
+        self.engine = GenieEngine(device=device, host=host, config=config or GenieConfig())
+        self.documents: list[str] = []
+
+    def fit(self, documents: list[str]) -> "DocumentIndex":
+        """Tokenize and index the documents."""
+        self.documents = list(documents)
+        corpus = Corpus(
+            [self.vocabulary.encode(tokenize(doc, self.stopwords), grow=True) for doc in self.documents]
+        )
+        self.engine.fit(corpus)
+        return self
+
+    def query_one(self, text: str, k: int = 10) -> TopKResult:
+        """Top-k documents by binary inner product with ``text``."""
+        return self.query_batch([text], k=k)[0]
+
+    def query_batch(self, texts: list[str], k: int = 10) -> list[TopKResult]:
+        """Batched document search."""
+        if not self.documents:
+            raise QueryError("index must be fitted before querying")
+        queries = [
+            Query.from_keywords(self.vocabulary.encode(tokenize(t, self.stopwords), grow=False))
+            for t in texts
+        ]
+        empty = [i for i, q in enumerate(queries) if q.num_items == 0]
+        if empty:
+            raise QueryError(f"queries {empty} contain no indexed words")
+        return self.engine.query(queries, k=k)
+
+    def inner_product(self, a: str, b: str) -> int:
+        """Reference binary vector-space inner product of two texts."""
+        return len(set(tokenize(a, self.stopwords)) & set(tokenize(b, self.stopwords)))

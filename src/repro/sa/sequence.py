@@ -1,0 +1,178 @@
+"""Sequence similarity search under edit distance (Section V-A).
+
+Pipeline: shred sequences into ordered n-grams, index them with GENIE,
+retrieve the K candidates with the largest common-gram counts, then verify
+with exact edit distance using Algorithm 2's filter bounds. Theorem 5.2
+gives a *certificate*: when the K-th candidate's count falls below
+``|Q| - n + 1 - tau_k' * n``, the returned top-k is provably the true
+top-k; otherwise the search can be repeated with a larger K.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.engine import GenieConfig, GenieEngine
+from repro.core.types import Corpus, Query
+from repro.errors import QueryError
+from repro.gpu.device import Device
+from repro.gpu.host import HostCpu
+from repro.sa.edit_distance import edit_distance, edit_distance_ops
+from repro.sa.ngram import NgramVocabulary
+
+#: The paper's defaults for DBLP: K = 32 shortlist, top-1 result.
+PAPER_K_CANDIDATES = 32
+
+
+@dataclass
+class SequenceMatch:
+    """One verified result: a sequence id with its exact edit distance."""
+
+    sequence_id: int
+    distance: int
+    count: int
+
+
+@dataclass
+class SequenceSearchResult:
+    """Outcome of one sequence query.
+
+    Attributes:
+        matches: Up to k verified matches, best (smallest distance) first.
+        certified: ``True`` when Theorem 5.2's condition held, i.e. the
+            matches are provably the true top-k under edit distance.
+        candidates_verified: Edit-distance computations spent.
+        shortlist_size: The K used for the GENIE retrieval.
+    """
+
+    matches: list[SequenceMatch] = field(default_factory=list)
+    certified: bool = False
+    candidates_verified: int = 0
+    shortlist_size: int = 0
+
+    @property
+    def best(self) -> SequenceMatch | None:
+        """The most similar verified sequence, if any."""
+        return self.matches[0] if self.matches else None
+
+
+class SequenceIndex:
+    """GENIE-backed sequence similarity search.
+
+    Args:
+        n: n-gram length (3 by default, as for DBLP titles).
+        device: Simulated GPU.
+        host: Simulated host CPU (charged for verification).
+        config: Engine configuration.
+    """
+
+    def __init__(
+        self,
+        n: int = 3,
+        device: Device | None = None,
+        host: HostCpu | None = None,
+        config: GenieConfig | None = None,
+    ):
+        self.n = int(n)
+        self.vocabulary = NgramVocabulary(self.n)
+        self.host = host if host is not None else HostCpu()
+        self.engine = GenieEngine(device=device, host=self.host, config=config or GenieConfig())
+        self.sequences: list[str] = []
+
+    def fit(self, sequences: list[str]) -> "SequenceIndex":
+        """Shred and index the data sequences."""
+        self.sequences = list(sequences)
+        corpus = Corpus([self.vocabulary.encode(s, grow=True) for s in self.sequences])
+        self.engine.fit(corpus)
+        return self
+
+    def _query_for(self, sequence: str) -> Query:
+        return Query.from_keywords(self.vocabulary.encode(sequence, grow=False))
+
+    def search(
+        self, query: str, k: int = 1, n_candidates: int = PAPER_K_CANDIDATES
+    ) -> SequenceSearchResult:
+        """One round of retrieve-and-verify.
+
+        Args:
+            query: Query sequence.
+            k: Number of nearest sequences wanted.
+            n_candidates: Shortlist size K (K >> k per the paper).
+
+        Returns:
+            The verified result, with :attr:`SequenceSearchResult.certified`
+            set per Theorem 5.2.
+        """
+        if not self.sequences:
+            raise QueryError("index must be fitted before searching")
+        if k < 1 or n_candidates < k:
+            raise QueryError("need n_candidates >= k >= 1")
+        genie_query = self._query_for(query)
+        if genie_query.num_items == 0:
+            return SequenceSearchResult(shortlist_size=n_candidates)
+        shortlist = self.engine.query([genie_query], k=n_candidates)[0]
+        return self._verify(query, shortlist.ids, shortlist.counts, k, n_candidates)
+
+    def _verify(self, query: str, ids, counts, k: int, n_candidates: int) -> SequenceSearchResult:
+        """Algorithm 2 generalized to top-k, with cost charged to the host."""
+        n = self.n
+        matches: list[SequenceMatch] = []
+        verified = 0
+
+        def kth_distance() -> int:
+            return matches[k - 1].distance if len(matches) >= k else np.iinfo(np.int64).max
+
+        def filter_threshold() -> float:
+            tau = kth_distance()
+            if tau == np.iinfo(np.int64).max:
+                return -np.inf
+            return len(query) - n + 1 - n * (tau - 1)
+
+        for j, (sid, count) in enumerate(zip(ids, counts)):
+            if j > 0 and matches and filter_threshold() > count:
+                break  # Theorem 5.1: no later candidate can beat the k-th best.
+            candidate = self.sequences[int(sid)]
+            if len(matches) >= k and abs(len(query) - len(candidate)) > kth_distance():
+                continue  # length filter
+            distance = edit_distance(query, candidate)
+            self.host.charge_ops(edit_distance_ops(len(query), len(candidate)), stage="verify")
+            verified += 1
+            matches.append(SequenceMatch(sequence_id=int(sid), distance=distance, count=int(count)))
+            matches.sort(key=lambda match: (match.distance, match.sequence_id))
+            del matches[k:]
+
+        certified = False
+        if matches and len(ids) > 0:
+            # Theorem 5.2: compare the K-th candidate's count with the bound
+            # derived from the k-th verified distance.
+            c_last = int(counts[-1])
+            tau_k = matches[min(k, len(matches)) - 1].distance
+            certified = (len(ids) < n_candidates) or (
+                c_last < len(query) - n + 1 - tau_k * n
+            )
+        return SequenceSearchResult(
+            matches=matches,
+            certified=certified,
+            candidates_verified=verified,
+            shortlist_size=n_candidates,
+        )
+
+    def search_until_certified(
+        self,
+        query: str,
+        k: int = 1,
+        schedule: tuple[int, ...] = (8, 16, 32, 64, 128, 256),
+    ) -> SequenceSearchResult:
+        """Repeat the search with growing K until Theorem 5.2 certifies it.
+
+        Returns the last round's result (certified or not — the schedule is
+        finite, as the paper recommends balancing time against certainty).
+        """
+        result = SequenceSearchResult()
+        for n_candidates in schedule:
+            result = self.search(query, k=k, n_candidates=n_candidates)
+            if result.certified:
+                return result
+        return result

@@ -1,0 +1,151 @@
+"""Tests for the GENIE engine: correctness against the reference model,
+the GEN-SPQ variant, memory behaviour, and profiling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import GenieConfig, GenieEngine, per_query_device_bytes
+from repro.core.load_balance import LoadBalanceConfig
+from repro.core.match_count import brute_force_topk
+from repro.core.types import Corpus, Query
+from repro.errors import GpuOutOfMemoryError, QueryError
+from repro.gpu.device import Device
+from repro.gpu.specs import small_device
+
+FIG1 = Corpus([[1, 12, 21], [2, 11, 22], [1, 13, 23]])
+Q1 = Query(items=[[1, 2], [11], [22, 23]])
+
+
+def _counts(result):
+    return sorted(result.counts.tolist(), reverse=True)
+
+
+class TestCorrectness:
+    def test_paper_example_top1(self):
+        engine = GenieEngine(config=GenieConfig(k=1)).fit(FIG1)
+        result = engine.query([Q1])[0]
+        assert result.as_pairs() == [(1, 3)]
+        assert result.threshold == 3
+
+    def test_batch_queries(self):
+        engine = GenieEngine(config=GenieConfig(k=2)).fit(FIG1)
+        q2 = Query(items=[[1]])
+        results = engine.query([Q1, q2])
+        assert results[0].as_pairs()[0] == (1, 3)
+        assert results[1].as_pairs() == [(0, 1), (2, 1)]
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.lists(st.integers(0, 12), max_size=6), min_size=1, max_size=15),
+        st.lists(
+            st.lists(st.lists(st.integers(0, 12), min_size=1, max_size=3), min_size=1, max_size=3),
+            min_size=1,
+            max_size=3,
+        ),
+        st.integers(1, 5),
+    )
+    def test_matches_brute_force(self, raw_objects, raw_queries, k):
+        corpus = Corpus(raw_objects)
+        queries = [Query(items=items) for items in raw_queries]
+        engine = GenieEngine(config=GenieConfig(k=k)).fit(corpus)
+        for query, result in zip(queries, engine.query(queries)):
+            expected = [(i, c) for i, c in brute_force_topk(query, corpus, k) if c > 0]
+            assert _counts(result) == sorted((c for _, c in expected), reverse=True)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(st.lists(st.integers(0, 10), max_size=5), min_size=1, max_size=12),
+        st.lists(st.integers(0, 10), min_size=1, max_size=6),
+        st.integers(1, 4),
+    )
+    def test_reference_cpq_agrees_with_fast_path(self, raw_objects, keywords, k):
+        corpus = Corpus(raw_objects)
+        query = Query.from_keywords(keywords)
+        fast = GenieEngine(config=GenieConfig(k=k)).fit(corpus)
+        slow = GenieEngine(config=GenieConfig(k=k, reference_cpq=True)).fit(corpus)
+        assert _counts(fast.query([query])[0]) == _counts(slow.query([query])[0])
+
+
+class TestGenSpqVariant:
+    def test_same_results_as_cpq(self):
+        corpus = Corpus([[i % 7, (i * 3) % 7, 7 + i % 4] for i in range(40)])
+        query = Query.from_keywords([0, 3, 8])
+        genie = GenieEngine(config=GenieConfig(k=5)).fit(corpus)
+        gen_spq = GenieEngine(config=GenieConfig(k=5, use_cpq=False)).fit(corpus)
+        assert _counts(genie.query([query])[0]) == _counts(gen_spq.query([query])[0])
+
+    def test_gen_spq_needs_more_memory_per_query(self):
+        genie = per_query_device_bytes(10_000, 10, 16, None, use_cpq=True)
+        gen_spq = per_query_device_bytes(10_000, 10, 16, None, use_cpq=False)
+        assert gen_spq > genie
+
+
+class TestLoadBalancedEngine:
+    def test_same_results_with_lb(self):
+        corpus = Corpus([[7, i % 3] for i in range(100)])
+        query = Query(items=[[7], [0, 1]])
+        plain = GenieEngine(config=GenieConfig(k=4)).fit(corpus)
+        balanced = GenieEngine(
+            config=GenieConfig(k=4, load_balance=LoadBalanceConfig(max_sublist_len=8))
+        ).fit(corpus)
+        assert _counts(plain.query([query])[0]) == _counts(balanced.query([query])[0])
+
+
+class TestMemoryBehaviour:
+    def test_batch_state_released_after_query(self):
+        device = Device()
+        engine = GenieEngine(device=device, config=GenieConfig(k=2)).fit(FIG1)
+        used_before = device.memory.used
+        engine.query([Q1])
+        assert device.memory.used == used_before
+
+    def test_oom_on_oversized_batch(self):
+        corpus = Corpus([[i % 50] for i in range(5_000)])
+        device = Device(small_device(64 * 1024))
+        engine = GenieEngine(device=device, config=GenieConfig(k=10, use_cpq=False)).fit(corpus)
+        with pytest.raises(GpuOutOfMemoryError):
+            engine.query([Query.from_keywords([0])] * 64)
+
+    def test_max_batch_size_positive_on_default_device(self):
+        engine = GenieEngine(config=GenieConfig(k=10)).fit(FIG1)
+        assert engine.max_batch_size(count_bound=3) > 0
+
+
+class TestProfiling:
+    def test_profile_has_pipeline_stages(self):
+        engine = GenieEngine(config=GenieConfig(k=1)).fit(FIG1)
+        engine.query([Q1])
+        profile = engine.last_profile
+        assert profile.get("match") > 0
+        assert profile.get("select") > 0
+        assert profile.get("query_transfer") > 0
+
+    def test_index_transfer_charged_at_fit(self):
+        device = Device()
+        GenieEngine(device=device, config=GenieConfig(k=1)).fit(FIG1)
+        assert device.timings.get("index_transfer") > 0
+
+
+class TestErrors:
+    def test_query_before_fit(self):
+        with pytest.raises(QueryError):
+            GenieEngine().query([Q1])
+
+    def test_empty_batch(self):
+        engine = GenieEngine(config=GenieConfig(k=1)).fit(FIG1)
+        with pytest.raises(QueryError):
+            engine.query([])
+
+    def test_bad_k(self):
+        engine = GenieEngine(config=GenieConfig(k=1)).fit(FIG1)
+        with pytest.raises(QueryError):
+            engine.query([Q1], k=0)
+
+    def test_config_with_copies(self):
+        config = GenieConfig(k=5)
+        other = config.with_(k=9, use_cpq=False)
+        assert config.k == 5
+        assert other.k == 9
+        assert not other.use_cpq

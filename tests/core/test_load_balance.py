@@ -1,0 +1,62 @@
+"""Tests for postings-list splitting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.load_balance import LoadBalanceConfig, group_spans_into_blocks, split_span
+
+
+class TestSplitSpan:
+    def test_short_span_unchanged(self):
+        assert split_span(0, 10, 100) == [(0, 10)]
+
+    def test_exact_multiple(self):
+        assert split_span(0, 12, 4) == [(0, 4), (4, 8), (8, 12)]
+
+    def test_remainder_chunk(self):
+        assert split_span(5, 15, 4) == [(5, 9), (9, 13), (13, 15)]
+
+    def test_invalid_span(self):
+        with pytest.raises(ValueError):
+            split_span(10, 5, 4)
+
+    @given(st.integers(0, 1000), st.integers(0, 5000), st.integers(1, 512))
+    def test_coverage_and_length(self, start, length, max_len):
+        end = start + length
+        chunks = split_span(start, end, max_len)
+        # Chunks tile the span exactly.
+        cursor = start
+        for lo, hi in chunks:
+            assert lo == cursor
+            assert hi - lo <= max_len
+            assert hi > lo or (length == 0 and hi == lo)
+            cursor = hi
+        assert cursor == end
+
+
+class TestGrouping:
+    def test_groups_of_two(self):
+        spans = [(0, 4), (4, 8), (8, 12)]
+        groups = group_spans_into_blocks(spans, 2)
+        assert groups == [[(0, 4), (4, 8)], [(8, 12)]]
+
+    def test_invalid_group_size(self):
+        with pytest.raises(ValueError):
+            group_spans_into_blocks([(0, 1)], 0)
+
+    def test_empty(self):
+        assert group_spans_into_blocks([], 2) == []
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = LoadBalanceConfig()
+        assert config.max_sublist_len == 4096
+        assert config.max_lists_per_block == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadBalanceConfig(max_sublist_len=0)
+        with pytest.raises(ValueError):
+            LoadBalanceConfig(max_lists_per_block=0)

@@ -1,0 +1,65 @@
+"""Tests for the match-count reference implementation.
+
+Uses the paper's running example (Fig. 1): a three-attribute table with
+O1 = {(A,1),(B,2),(C,1)}, O2 = {(A,2),(B,1),(C,2)}, O3 = {(A,1),(B,3),(C,3)}
+and Q1 = {(A,[1,2]), (B,[1,1]), (C,[2,3])}. Keywords encode (attr, value)
+as ``attr_index * 10 + value``.
+"""
+
+import numpy as np
+
+from repro.core.match_count import brute_force_topk, item_count, match_count, match_counts_all
+from repro.core.types import Corpus, Query
+
+# Fig. 1 encoding: A=0x, B=1x, C=2x.
+O1 = [1, 12, 21]
+O2 = [2, 11, 22]
+O3 = [1, 13, 23]
+FIG1 = Corpus([O1, O2, O3])
+Q1 = Query(items=[[1, 2], [11], [22, 23]])
+
+
+class TestPaperExample:
+    def test_mc_q1_o1_is_one(self):
+        # The paper computes MC(Q1, O1) = 1 + 0 + 0 = 1.
+        assert match_count(Q1, FIG1[0]) == 1
+
+    def test_mc_q1_o2_is_three(self):
+        assert match_count(Q1, FIG1[1]) == 3
+
+    def test_mc_q1_o3_is_two(self):
+        assert match_count(Q1, FIG1[2]) == 2
+
+    def test_item_counts(self):
+        assert item_count(np.array([1, 2]), FIG1[0]) == 1
+        assert item_count(np.array([11]), FIG1[0]) == 0
+
+    def test_top1_is_o2(self):
+        # Example 3.1: the top-1 of Q1 is O2 with count 3.
+        assert brute_force_topk(Q1, FIG1, 1) == [(1, 3)]
+
+
+class TestGeneral:
+    def test_counts_all(self):
+        assert match_counts_all(Q1, FIG1).tolist() == [1, 3, 2]
+
+    def test_empty_query(self):
+        assert match_count(Query(items=[]), FIG1[0]) == 0
+
+    def test_empty_object(self):
+        assert match_count(Q1, np.array([], dtype=np.int64)) == 0
+
+    def test_topk_tie_break_by_id(self):
+        corpus = Corpus([[1], [1], [2]])
+        query = Query(items=[[1]])
+        assert brute_force_topk(query, corpus, 2) == [(0, 1), (1, 1)]
+
+    def test_topk_k_larger_than_corpus(self):
+        corpus = Corpus([[1]])
+        query = Query(items=[[1]])
+        assert brute_force_topk(query, corpus, 5) == [(0, 1)]
+
+    def test_multi_keyword_item_counts_each_element(self):
+        # An item covering two of the object's elements counts both.
+        obj = np.array([1, 2, 3])
+        assert item_count(np.array([1, 2]), obj) == 2

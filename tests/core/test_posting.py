@@ -1,0 +1,57 @@
+"""Tests for postings-list construction."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.posting import build_postings
+from repro.core.types import Corpus
+
+
+class TestBuildPostings:
+    def test_simple(self):
+        postings = build_postings(Corpus([[1, 2], [2, 3]]))
+        assert postings.keywords.tolist() == [1, 2, 3]
+        assert postings.list_for(0).tolist() == [0]
+        assert postings.list_for(1).tolist() == [0, 1]
+        assert postings.list_for(2).tolist() == [1]
+
+    def test_lists_sorted_by_object_id(self):
+        postings = build_postings(Corpus([[5], [5], [5]]))
+        assert postings.list_for(0).tolist() == [0, 1, 2]
+
+    def test_empty_corpus(self):
+        postings = build_postings(Corpus([]))
+        assert postings.num_lists == 0
+        assert postings.total_entries == 0
+
+    def test_corpus_with_empty_objects(self):
+        postings = build_postings(Corpus([[], [7], []]))
+        assert postings.keywords.tolist() == [7]
+        assert postings.list_for(0).tolist() == [1]
+
+    def test_total_entries(self):
+        corpus = Corpus([[1, 2, 3], [1]])
+        assert build_postings(corpus).total_entries == 4
+
+    def test_build_ops_positive(self):
+        assert build_postings(Corpus([[1]])).build_ops > 0
+
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 30), max_size=8),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_postings_invert_the_corpus(self, raw_objects):
+        corpus = Corpus(raw_objects)
+        postings = build_postings(corpus)
+        # Every (object, keyword) pair appears in exactly that keyword's list.
+        for obj_id, keywords in enumerate(corpus):
+            for kw in keywords:
+                idx = int(np.searchsorted(postings.keywords, kw))
+                assert postings.keywords[idx] == kw
+                assert obj_id in postings.list_for(idx)
+        # And total size matches.
+        assert postings.total_entries == corpus.total_entries

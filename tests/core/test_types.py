@@ -1,0 +1,86 @@
+"""Tests for the core data model (Corpus, Query, TopKResult)."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import Corpus, Query, TopKResult, as_keyword_array
+from repro.errors import QueryError
+
+
+class TestKeywordArray:
+    def test_accepts_lists_and_arrays(self):
+        assert as_keyword_array([1, 2, 3]).tolist() == [1, 2, 3]
+        assert as_keyword_array(np.array([4, 5])).tolist() == [4, 5]
+
+    def test_rejects_negative(self):
+        with pytest.raises(QueryError):
+            as_keyword_array([1, -2])
+
+    def test_empty(self):
+        assert as_keyword_array([]).size == 0
+
+
+class TestCorpus:
+    def test_dedupes_and_sorts_object_keywords(self):
+        corpus = Corpus([[3, 1, 3, 2]])
+        assert corpus[0].tolist() == [1, 2, 3]
+
+    def test_max_keyword(self):
+        corpus = Corpus([[1, 5], [2]])
+        assert corpus.max_keyword == 5
+
+    def test_empty_corpus(self):
+        corpus = Corpus([])
+        assert len(corpus) == 0
+        assert corpus.max_keyword == -1
+        assert corpus.total_entries == 0
+
+    def test_empty_object_allowed(self):
+        corpus = Corpus([[], [1]])
+        assert corpus[0].size == 0
+        assert corpus.max_object_size() == 1
+
+    def test_total_entries_after_dedupe(self):
+        corpus = Corpus([[1, 1, 2], [3]])
+        assert corpus.total_entries == 3
+
+    def test_iteration(self):
+        corpus = Corpus([[1], [2]])
+        assert [arr.tolist() for arr in corpus] == [[1], [2]]
+
+
+class TestQuery:
+    def test_from_keywords_one_item_each(self):
+        query = Query.from_keywords([7, 8, 9])
+        assert query.num_items == 3
+        assert all(item.size == 1 for item in query.items)
+
+    def test_all_keywords_concatenates(self):
+        query = Query(items=[[1, 2], [3]])
+        assert query.all_keywords().tolist() == [1, 2, 3]
+
+    def test_count_bound_single_keyword_items(self):
+        # One keyword per item (LSH shape): bound = number of items.
+        query = Query.from_keywords([1, 2, 3, 4])
+        assert query.count_bound() == 4
+
+    def test_count_bound_range_items(self):
+        # Multi-keyword items (relational shape): bound = total keywords.
+        query = Query(items=[[1, 2, 3], [4, 5]])
+        assert query.count_bound() == 5
+
+    def test_empty_query(self):
+        query = Query(items=[])
+        assert query.num_items == 0
+        assert query.all_keywords().size == 0
+
+
+class TestTopKResult:
+    def test_pairs(self):
+        result = TopKResult(ids=[5, 3], counts=[9, 7])
+        assert result.as_pairs() == [(5, 9), (3, 7)]
+        assert len(result) == 2
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            TopKResult(ids=[1, 2], counts=[1])

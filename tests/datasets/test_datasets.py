@@ -1,0 +1,163 @@
+"""Tests for the synthetic dataset generators and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.documents import make_document_queries, make_tweets_like, make_vocabulary
+from repro.datasets.registry import REGISTRY, dataset_names, load
+from repro.datasets.relational import (
+    ADULT_SCHEMA,
+    adult_schema,
+    make_adult_like,
+    make_exact_match_queries,
+    make_range_queries,
+)
+from repro.datasets.sequences import make_dblp_like, make_query_set, modify_sequence
+from repro.datasets.synthetic import make_ocr_like, make_sift_like, true_knn
+
+
+class TestPointDatasets:
+    def test_sift_shapes(self):
+        ds = make_sift_like(n=500, n_queries=20, dim=32)
+        assert ds.data.shape == (500, 32)
+        assert ds.queries.shape == (20, 32)
+        assert ds.dim == 32
+        assert len(ds) == 500
+
+    def test_ocr_labels(self):
+        ds = make_ocr_like(n=300, n_queries=30, dim=16, n_classes=5)
+        assert ds.labels.shape == (300,)
+        assert ds.query_labels.shape == (30,)
+        assert set(np.unique(ds.labels)) <= set(range(5))
+        assert (ds.data >= 0).all()  # intensity-like
+
+    def test_seed_determinism(self):
+        a = make_sift_like(n=100, seed=3)
+        b = make_sift_like(n=100, seed=3)
+        c = make_sift_like(n=100, seed=4)
+        assert np.array_equal(a.data, b.data)
+        assert not np.array_equal(a.data, c.data)
+
+
+class TestTrueKnn:
+    def test_matches_naive(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((60, 5))
+        queries = rng.standard_normal((7, 5))
+        ids, dists = true_knn(data, queries, k=3)
+        for qi, qp in enumerate(queries):
+            full = np.linalg.norm(data - qp[None, :], axis=1)
+            expected = np.sort(full)[:3]
+            assert np.allclose(dists[qi], expected)
+            assert np.allclose(np.linalg.norm(data[ids[qi]] - qp[None, :], axis=1), expected)
+
+    def test_l1_metric(self):
+        data = np.array([[0.0], [1.0], [5.0]])
+        ids, dists = true_knn(data, np.array([[0.9]]), k=2, p=1)
+        assert ids[0].tolist() == [1, 0]
+
+    def test_blocked_equals_unblocked(self):
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((50, 4))
+        queries = rng.standard_normal((10, 4))
+        a = true_knn(data, queries, k=4, block=3)
+        b = true_knn(data, queries, k=4, block=256)
+        assert np.array_equal(a[0], b[0])
+
+
+class TestSequences:
+    def test_dblp_unique_titles(self):
+        titles = make_dblp_like(n=200, seed=0)
+        assert len(titles) == len(set(titles)) == 200
+
+    def test_modify_fraction_zero_is_identity(self):
+        rng = np.random.default_rng(0)
+        assert modify_sequence("hello world", 0.0, rng) == "hello world"
+
+    def test_modify_changes_string(self):
+        rng = np.random.default_rng(0)
+        original = "similarity search on the gpu"
+        modified = modify_sequence(original, 0.4, rng)
+        assert modified != original
+
+    def test_modify_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            modify_sequence("abc", 1.5, np.random.default_rng(0))
+
+    def test_query_set_ids_valid(self):
+        titles = make_dblp_like(n=50, seed=0)
+        queries, ids = make_query_set(titles, 10, 0.2, seed=1)
+        assert len(queries) == len(ids) == 10
+        assert all(0 <= i < 50 for i in ids)
+        assert len(set(ids)) == 10  # sampled without replacement
+
+
+class TestDocuments:
+    def test_tweets_sizes(self):
+        docs = make_tweets_like(n=100, vocab_size=50, seed=0)
+        assert len(docs) == 100
+        assert all(4 <= len(d.split()) <= 14 for d in docs)
+
+    def test_vocabulary(self):
+        vocab = make_vocabulary(10)
+        assert len(vocab) == 10
+        assert "singapore" in vocab
+        with pytest.raises(ValueError):
+            make_vocabulary(0)
+
+    def test_zipf_validation(self):
+        with pytest.raises(ValueError):
+            make_tweets_like(n=10, zipf_a=1.0)
+
+    def test_document_queries_subset_of_source(self):
+        docs = make_tweets_like(n=50, seed=0)
+        queries, ids = make_document_queries(docs, 5, drop_fraction=0.5, seed=1)
+        for q, i in zip(queries, ids):
+            assert set(q.split()) <= set(docs[i].split())
+
+
+class TestRelational:
+    def test_adult_schema_alignment(self):
+        columns = make_adult_like(n=500, seed=0)
+        assert set(columns) == {name for name, _, _ in ADULT_SCHEMA}
+        assert all(len(v) == 500 for v in columns.values())
+        assert len(adult_schema()) == len(ADULT_SCHEMA)
+
+    def test_categorical_skew_creates_long_lists(self):
+        columns = make_adult_like(n=2000, seed=0)
+        sex = columns["sex"]
+        top = np.bincount(sex).max()
+        assert top > 0.55 * 2000  # heavily skewed, as the LB experiment needs
+
+    def test_exact_match_queries_match_a_row(self):
+        columns = make_adult_like(n=100, seed=0)
+        queries = make_exact_match_queries(columns, 3, seed=1)
+        assert len(queries) == 3
+        for ranges in queries:
+            assert set(ranges) == set(columns)
+            for lo, hi in ranges.values():
+                assert lo == hi
+
+    def test_range_queries_widths(self):
+        columns = make_adult_like(n=100, seed=0)
+        queries = make_range_queries(columns, 2, numeric_halfwidth=5.0, seed=1)
+        for ranges in queries:
+            lo, hi = ranges["age"]
+            assert hi - lo == pytest.approx(10.0)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert dataset_names() == ["ocr", "sift", "sift_large", "dblp", "tweets", "adult"]
+
+    def test_load_respects_n(self):
+        titles = load("dblp", n=25)
+        assert len(titles) == 25
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load("imagenet")
+
+    def test_registry_metadata(self):
+        assert REGISTRY["sift"].kind == "points"
+        assert REGISTRY["adult"].kind == "relational"

@@ -1,0 +1,20 @@
+"""Smoke test for the one-shot reproduction report CLI."""
+
+from repro.experiments import report
+
+
+def test_report_experiment_registry_complete():
+    labels = [label for label, _ in report._EXPERIMENTS]
+    # Every figure and table of the paper's evaluation is registered.
+    for expected in ("Fig. 8", "Fig. 9", "Fig. 10", "Fig. 11", "Fig. 12",
+                     "Fig. 13", "Fig. 14", "Table I", "Tables II+III",
+                     "Table IV", "Table V", "Table VI", "Table VII"):
+        assert expected in labels
+    assert sum(1 for label in labels if label.startswith("Ablation")) == 4
+
+
+def test_report_main_runs_quick(capsys):
+    assert report.main([]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 9" in out
+    assert "All experiments regenerated" in out

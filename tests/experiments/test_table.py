@@ -1,0 +1,41 @@
+"""Tests for the ResultTable container."""
+
+import pytest
+
+from repro.experiments.table import ResultTable
+
+
+class TestResultTable:
+    def _table(self):
+        table = ResultTable(title="t", columns=["a", "b"])
+        table.add_row(a=1, b=2.5)
+        table.add_row(a=3, b=None)
+        return table
+
+    def test_add_and_column(self):
+        table = self._table()
+        assert table.column("a") == [1, 3]
+        assert table.column("b") == [2.5, None]
+
+    def test_unknown_column_rejected(self):
+        table = self._table()
+        with pytest.raises(KeyError):
+            table.add_row(c=1)
+        with pytest.raises(KeyError):
+            table.column("z")
+
+    def test_where(self):
+        table = self._table()
+        assert table.where(a=3) == [{"a": 3, "b": None}]
+        assert table.where(a=99) == []
+
+    def test_format_contains_everything(self):
+        table = self._table()
+        table.notes.append("a note")
+        text = table.format()
+        assert "== t ==" in text
+        assert "2.5" in text
+        assert "# a note" in text
+
+    def test_str(self):
+        assert str(self._table()).startswith("== t ==")

@@ -1,0 +1,137 @@
+"""Tests for the Device: launch timing, scheduling, staging, transfers."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import Device, _schedule_blocks
+from repro.gpu.kernel import KernelLaunch, uniform_launch
+from repro.gpu.specs import DeviceSpec
+
+
+def _launch(block_items, **kwargs):
+    return KernelLaunch(name="t", block_items=np.asarray(block_items), **kwargs)
+
+
+class TestScheduler:
+    def test_empty(self):
+        assert _schedule_blocks(np.array([]), 4) == 0.0
+
+    def test_fewer_blocks_than_sms_is_max(self):
+        assert _schedule_blocks(np.array([5.0, 9.0, 2.0]), 24) == 9.0
+
+    def test_greedy_balancing(self):
+        # 8 equal blocks on 4 SMs -> 2 per SM.
+        assert _schedule_blocks(np.full(8, 3.0), 4) == 6.0
+
+    def test_one_giant_block_dominates(self):
+        makespan = _schedule_blocks(np.array([100.0] + [1.0] * 50), 8)
+        assert makespan == pytest.approx(100.0, rel=0.2)
+
+
+class TestLaunchTiming:
+    def test_elapsed_positive(self):
+        device = Device()
+        stats = device.launch(_launch([100, 100], bytes_read=800))
+        assert stats.elapsed_seconds > 0.0
+
+    def test_more_work_more_time(self):
+        device = Device()
+        small = device.launch(uniform_launch("a", 10_000, 256)).elapsed_seconds
+        large = device.launch(uniform_launch("b", 10_000_000, 256)).elapsed_seconds
+        assert large > small
+
+    def test_memory_bound_launch(self):
+        device = Device()
+        # Tiny compute, huge traffic: elapsed must respect the bandwidth.
+        gigabyte = 1024**3
+        stats = device.launch(
+            uniform_launch("mem", 1000, 10, cycles_per_item=0.001, bytes_read=gigabyte)
+        )
+        assert stats.elapsed_seconds >= gigabyte / device.spec.mem_bandwidth
+
+    def test_single_block_capped_by_per_sm_bandwidth(self):
+        device = Device()
+        nbytes = 10 * 1024**2
+        one_block = device.launch(
+            _launch([1_000_000], cycles_per_item=0.001, bytes_read=nbytes)
+        ).elapsed_seconds
+        per_sm = device.spec.mem_bandwidth / device.spec.num_sms
+        assert one_block >= nbytes / per_sm
+
+    def test_split_blocks_beat_one_giant_block(self):
+        device = Device()
+        total = 1_000_000
+        giant = device.launch(_launch([total], bytes_read=total * 4)).elapsed_seconds
+        split = device.launch(
+            uniform_launch("s", total, 4096, bytes_read=total * 4)
+        ).elapsed_seconds
+        assert split < giant
+
+    def test_uncoalesced_traffic_slower(self):
+        device = Device()
+        nbytes = 4 * 1024**2
+        coalesced = device.launch(
+            uniform_launch("c", 1000, 100, bytes_read=nbytes)
+        ).elapsed_seconds
+        scattered = device.launch(
+            uniform_launch("u", 1000, 100, uncoalesced_bytes=nbytes)
+        ).elapsed_seconds
+        assert scattered > coalesced
+
+    def test_atomic_conflicts_add_time(self):
+        device = Device()
+        quiet = device.launch(uniform_launch("q", 10_000, 256)).elapsed_seconds
+        contended = device.launch(
+            uniform_launch("a", 10_000, 256, atomic_conflicts=1e6)
+        ).elapsed_seconds
+        assert contended > quiet
+
+    def test_kernel_log_grows(self):
+        device = Device()
+        device.launch(_launch([10]))
+        device.launch(_launch([10]))
+        assert len(device.kernel_log) == 2
+
+
+class TestStaging:
+    def test_stage_scoping(self):
+        device = Device()
+        with device.stage("select"):
+            device.launch(_launch([100]))
+        assert device.timings.get("select") > 0.0
+        assert device.timings.get("match") == 0.0
+
+    def test_stage_nesting_restores(self):
+        device = Device()
+        with device.stage("a"):
+            with device.stage("b"):
+                pass
+            assert device.current_stage == "a"
+        assert device.current_stage == "match"
+
+    def test_explicit_stage_argument_wins(self):
+        device = Device()
+        device.launch(_launch([100]), stage="index_transfer")
+        assert device.timings.get("index_transfer") > 0.0
+
+    def test_transfer_charges_pcie_time(self):
+        device = Device()
+        arr = np.zeros(3_000_000, dtype=np.int32)
+        device.to_device(arr, stage="index_transfer")
+        expected = arr.nbytes / device.spec.pcie_bandwidth
+        assert device.timings.get("index_transfer") == pytest.approx(expected)
+
+    def test_reset_timings(self):
+        device = Device()
+        device.launch(_launch([100]))
+        device.reset_timings()
+        assert device.timings.total == 0.0
+        assert device.kernel_log == []
+
+    def test_slow_pcie_slows_transfer(self):
+        fast = Device(DeviceSpec(pcie_bandwidth=16e9))
+        slow = Device(DeviceSpec(pcie_bandwidth=1e9))
+        arr = np.zeros(1_000_000, dtype=np.int64)
+        fast.to_device(arr)
+        slow.to_device(arr)
+        assert slow.timings.total > fast.timings.total

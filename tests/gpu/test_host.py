@@ -1,0 +1,51 @@
+"""Tests for the simulated host CPU."""
+
+import pytest
+
+from repro.gpu.host import HostCpu
+from repro.gpu.specs import HostSpec
+
+
+class TestHostCpu:
+    def test_charge_ops_time(self):
+        host = HostCpu()
+        seconds = host.charge_ops(host.spec.ops_per_second)
+        assert seconds == pytest.approx(1.0)
+        assert host.timings.get("match") == pytest.approx(1.0)
+
+    def test_charge_bytes_time(self):
+        host = HostCpu()
+        seconds = host.charge_bytes(host.spec.mem_bandwidth / 2)
+        assert seconds == pytest.approx(0.5)
+
+    def test_multicore_speedup(self):
+        single = HostCpu(cores=1)
+        quad = HostCpu(cores=4)
+        assert quad.charge_ops(1e9) == pytest.approx(single.charge_ops(1e9) / 4)
+
+    def test_invalid_cores_rejected(self):
+        with pytest.raises(ValueError):
+            HostCpu(cores=0)
+        with pytest.raises(ValueError):
+            HostCpu(HostSpec(num_cores=2), cores=3)
+
+    def test_negative_charges_rejected(self):
+        host = HostCpu()
+        with pytest.raises(ValueError):
+            host.charge_ops(-1)
+        with pytest.raises(ValueError):
+            host.charge_bytes(-1)
+
+    def test_stage_scoping(self):
+        host = HostCpu()
+        with host.stage("verify"):
+            host.charge_ops(100)
+        host.charge_ops(100)
+        assert host.timings.get("verify") > 0
+        assert host.timings.get("match") > 0
+
+    def test_reset(self):
+        host = HostCpu()
+        host.charge_ops(100)
+        host.reset_timings()
+        assert host.timings.total == 0.0

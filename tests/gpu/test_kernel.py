@@ -1,0 +1,49 @@
+"""Tests for KernelLaunch and uniform_launch."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.kernel import KernelLaunch, uniform_launch
+
+
+class TestKernelLaunch:
+    def test_basic_properties(self):
+        launch = KernelLaunch(name="k", block_items=np.array([10, 20, 30]))
+        assert launch.num_blocks == 3
+        assert launch.total_items == 60
+
+    def test_two_dimensional_items_rejected(self):
+        with pytest.raises(ValueError):
+            KernelLaunch(name="k", block_items=np.zeros((2, 2)))
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ValueError):
+            KernelLaunch(name="k", block_items=np.array([1]), threads_per_block=0)
+
+    def test_items_coerced_to_int64(self):
+        launch = KernelLaunch(name="k", block_items=[1.0, 2.0])
+        assert launch.block_items.dtype == np.int64
+
+
+class TestUniformLaunch:
+    def test_even_split(self):
+        launch = uniform_launch("k", 100, 25)
+        assert list(launch.block_items) == [25, 25, 25, 25]
+
+    def test_remainder_block(self):
+        launch = uniform_launch("k", 105, 25)
+        assert list(launch.block_items) == [25, 25, 25, 25, 5]
+
+    def test_zero_items_yields_empty_block(self):
+        launch = uniform_launch("k", 0, 25)
+        assert launch.total_items == 0
+        assert launch.num_blocks == 1
+
+    def test_kwargs_forwarded(self):
+        launch = uniform_launch("k", 10, 5, bytes_read=99.0, cycles_per_item=7.0)
+        assert launch.bytes_read == 99.0
+        assert launch.cycles_per_item == 7.0
+
+    def test_items_per_block_floor(self):
+        launch = uniform_launch("k", 10, 0)  # clamped to 1 item per block
+        assert launch.num_blocks == 10

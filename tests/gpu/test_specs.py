@@ -1,0 +1,55 @@
+"""Tests for device/host specs and the cycle-cost model."""
+
+import pytest
+
+from repro.gpu.specs import DEFAULT_COSTS, I7_3820, TITAN_X, CostModel, DeviceSpec, small_device
+
+
+class TestDeviceSpec:
+    def test_default_is_titan_x_class(self):
+        assert TITAN_X.global_mem_bytes == 12 * 1024**3
+        assert TITAN_X.warp_size == 32
+        assert TITAN_X.max_threads_per_block == 1024
+
+    def test_total_cores(self):
+        assert TITAN_X.total_cores == TITAN_X.num_sms * TITAN_X.cores_per_sm
+
+    def test_spec_is_frozen(self):
+        with pytest.raises(AttributeError):
+            TITAN_X.num_sms = 1
+
+    def test_small_device_shrinks_only_memory(self):
+        tiny = small_device(1024)
+        assert tiny.global_mem_bytes == 1024
+        assert tiny.num_sms == TITAN_X.num_sms
+
+    def test_custom_spec(self):
+        spec = DeviceSpec(num_sms=2, cores_per_sm=64)
+        assert spec.total_cores == 128
+
+    def test_host_spec_defaults(self):
+        assert I7_3820.num_cores >= 1
+        assert I7_3820.ops_per_second > 0
+
+
+class TestCostModel:
+    def test_coalesced_transactions_pack_the_bus(self):
+        # 1280 bytes in 128-byte transactions = 10.
+        assert DEFAULT_COSTS.transactions(1280, coalesced=True) == 10
+
+    def test_uncoalesced_transactions_per_word(self):
+        # 1280 bytes scattered = one transaction per 4-byte word.
+        assert DEFAULT_COSTS.transactions(1280, coalesced=False) == 320
+
+    def test_zero_bytes_cost_nothing(self):
+        assert DEFAULT_COSTS.transactions(0) == 0.0
+
+    def test_tiny_transfer_rounds_up_to_one_transaction(self):
+        assert DEFAULT_COSTS.transactions(4, coalesced=True) == 1.0
+
+    def test_uncoalesced_at_least_as_expensive(self):
+        model = CostModel()
+        for nbytes in (4, 128, 1000, 4096):
+            assert model.transactions(nbytes, coalesced=False) >= model.transactions(
+                nbytes, coalesced=True
+            )

@@ -1,0 +1,88 @@
+"""Tests for KernelStats and StageTimings."""
+
+import pytest
+
+from repro.gpu.stats import STAGES, KernelStats, StageTimings, timings_delta
+
+
+class TestKernelStats:
+    def test_merge_accumulates(self):
+        a = KernelStats(name="k", blocks=2, ops=10, bytes_read=100, elapsed_seconds=1.0)
+        b = KernelStats(name="k", blocks=3, ops=5, bytes_written=50, elapsed_seconds=0.5)
+        a.merge(b)
+        assert a.blocks == 5
+        assert a.ops == 15
+        assert a.total_bytes == 150
+        assert a.elapsed_seconds == 1.5
+
+    def test_total_bytes(self):
+        s = KernelStats(bytes_read=30, bytes_written=12)
+        assert s.total_bytes == 42
+
+
+class TestStageTimings:
+    def test_add_and_get(self):
+        t = StageTimings()
+        t.add("match", 1.0)
+        t.add("match", 0.5)
+        assert t.get("match") == 1.5
+        assert t.get("select") == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            StageTimings().add("match", -1.0)
+
+    def test_total_and_query_total_exclude_build(self):
+        t = StageTimings()
+        t.add("index_build", 10.0)
+        t.add("match", 2.0)
+        t.add("select", 1.0)
+        assert t.total == 13.0
+        assert t.query_total() == 3.0
+
+    def test_merge(self):
+        a = StageTimings()
+        a.add("match", 1.0)
+        b = StageTimings()
+        b.add("match", 2.0)
+        b.add("select", 3.0)
+        a.merge(b)
+        assert a.get("match") == 3.0
+        assert a.get("select") == 3.0
+
+    def test_copy_is_independent(self):
+        a = StageTimings()
+        a.add("match", 1.0)
+        b = a.copy()
+        b.add("match", 1.0)
+        assert a.get("match") == 1.0
+
+    def test_as_row_contains_canonical_stages(self):
+        t = StageTimings()
+        t.add("verify", 4.0)
+        row = t.as_row()
+        for stage in STAGES:
+            assert stage in row
+        assert row["verify"] == 4.0
+
+    def test_custom_stage_names_allowed(self):
+        t = StageTimings()
+        t.add("result_merge", 0.25)
+        assert t.get("result_merge") == 0.25
+
+
+class TestTimingsDelta:
+    def test_delta_reports_only_new_charges(self):
+        before = StageTimings()
+        before.add("match", 1.0)
+        after = before.copy()
+        after.add("match", 0.5)
+        after.add("select", 0.2)
+        delta = timings_delta(before, after)
+        assert delta.get("match") == pytest.approx(0.5)
+        assert delta.get("select") == pytest.approx(0.2)
+
+    def test_empty_delta(self):
+        t = StageTimings()
+        t.add("match", 1.0)
+        assert timings_delta(t, t.copy()).total == 0.0

@@ -1,0 +1,76 @@
+"""Tests for warp-level cost helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpu.specs import DEFAULT_COSTS, TITAN_X
+from repro.gpu.warp import (
+    block_cycles,
+    coalesced_transactions,
+    divergence_events,
+    scattered_transactions,
+)
+
+
+class TestBlockCycles:
+    def test_empty_block_is_free(self):
+        assert block_cycles(0, 4.0, 256, TITAN_X) == 0.0
+
+    def test_one_pass_when_items_fit_lanes(self):
+        # 128 lanes on an SM; 100 items, 256-thread block -> one pass.
+        assert block_cycles(100, 4.0, 256, TITAN_X) == 4.0
+
+    def test_serial_passes_beyond_lanes(self):
+        # 1280 items over 128 lanes -> 10 passes.
+        assert block_cycles(1280, 2.0, 256, TITAN_X) == 20.0
+
+    def test_small_blocks_use_fewer_lanes(self):
+        # 32-thread block only keeps 32 lanes busy.
+        assert block_cycles(64, 1.0, 32, TITAN_X) == 2.0
+
+    def test_invalid_threads_rejected(self):
+        with pytest.raises(ValueError):
+            block_cycles(10, 1.0, 0, TITAN_X)
+
+    @given(st.integers(1, 10**6), st.integers(1, 1024))
+    def test_monotone_in_items(self, n_items, threads):
+        smaller = block_cycles(n_items, 1.0, threads, TITAN_X)
+        larger = block_cycles(n_items + 1, 1.0, threads, TITAN_X)
+        assert larger >= smaller
+
+
+class TestTransactions:
+    def test_scattered_never_cheaper(self):
+        for words in (1, 32, 1000):
+            assert scattered_transactions(words, DEFAULT_COSTS) >= coalesced_transactions(
+                words, DEFAULT_COSTS
+            )
+
+    def test_coalesced_words_per_transaction(self):
+        # 32 4-byte words fill one 128-byte transaction.
+        assert coalesced_transactions(32, DEFAULT_COSTS) == 1.0
+
+
+class TestDivergence:
+    def test_uniform_branch_never_diverges(self):
+        assert divergence_events(1024, 0.0, 32) == 0.0
+        assert divergence_events(1024, 1.0, 32) == 0.0
+
+    def test_mixed_branch_diverges(self):
+        assert divergence_events(1024, 0.5, 32) > 0.0
+
+    def test_zero_threads(self):
+        assert divergence_events(0, 0.5, 32) == 0.0
+
+    @given(st.floats(0.0, 1.0), st.integers(1, 10_000))
+    def test_bounded_by_warp_count(self, p, n_threads):
+        events = divergence_events(n_threads, p, 32)
+        n_warps = -(-n_threads // 32)
+        assert 0.0 <= events <= n_warps
+
+    def test_rare_branch_low_divergence(self):
+        # A branch taken ~1e-6 of the time rarely splits a warp.
+        rare = divergence_events(10_000, 1e-6, 32)
+        common = divergence_events(10_000, 0.5, 32)
+        assert rare < common / 10

@@ -1,0 +1,83 @@
+"""Tests for p-stable E2LSH: Eqn. 1 (collision prob == psi) empirically."""
+
+import numpy as np
+import pytest
+
+from repro.lsh.e2lsh import E2Lsh, psi_l1, psi_l2
+
+
+class TestPsiClosedForms:
+    def test_zero_distance_certain_collision(self):
+        assert psi_l2(0.0, 4.0) == 1.0
+        assert psi_l1(0.0, 4.0) == 1.0
+
+    def test_strictly_decreasing_in_distance(self):
+        for psi in (psi_l1, psi_l2):
+            values = [psi(d, 4.0) for d in (0.5, 1.0, 2.0, 4.0, 8.0)]
+            assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_wider_buckets_raise_collision(self):
+        assert psi_l2(2.0, 8.0) > psi_l2(2.0, 2.0)
+        assert psi_l1(2.0, 8.0) > psi_l1(2.0, 2.0)
+
+    def test_probability_range(self):
+        for psi in (psi_l1, psi_l2):
+            for d in (0.1, 1.0, 10.0, 100.0):
+                assert 0.0 <= psi(d, 4.0) <= 1.0
+
+
+class TestE2LshFamily:
+    def test_signature_shape_and_dtype(self):
+        family = E2Lsh(16, dim=8, width=4.0, seed=0)
+        sig = family.hash_points(np.zeros((5, 8)))
+        assert sig.shape == (5, 16)
+        assert sig.dtype == np.int64
+
+    def test_identical_points_always_collide(self):
+        family = E2Lsh(32, dim=8, width=4.0, seed=0)
+        p = np.random.default_rng(0).standard_normal(8)
+        assert family.empirical_collision_rate(p, p) == 1.0
+
+    def test_dim_mismatch_rejected(self):
+        family = E2Lsh(4, dim=8, width=4.0)
+        with pytest.raises(ValueError):
+            family.hash_points(np.zeros((2, 5)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            E2Lsh(4, dim=8, width=0.0)
+        with pytest.raises(ValueError):
+            E2Lsh(4, dim=8, width=4.0, p=3)
+        with pytest.raises(ValueError):
+            E2Lsh(0, dim=8, width=4.0)
+
+    @pytest.mark.parametrize("p", [1, 2])
+    def test_empirical_collision_matches_psi(self, p):
+        """Eqn. 1: the fraction of colliding functions approximates psi_p."""
+        rng = np.random.default_rng(42)
+        family = E2Lsh(3000, dim=16, width=4.0, p=p, seed=1)
+        a = rng.standard_normal(16)
+        b = a + rng.standard_normal(16) * 0.2
+        empirical = family.empirical_collision_rate(a, b)
+        predicted = family.collision_probability(a, b)
+        assert empirical == pytest.approx(predicted, abs=0.04)
+
+    def test_collision_monotone_in_distance(self):
+        family = E2Lsh(2000, dim=8, width=4.0, seed=3)
+        base = np.zeros(8)
+        near = base + 0.1
+        far = base + 2.0
+        assert family.empirical_collision_rate(base, near) > family.empirical_collision_rate(
+            base, far
+        )
+
+    def test_similarity_is_collision_probability(self):
+        family = E2Lsh(4, dim=8, width=4.0)
+        a, b = np.zeros(8), np.ones(8)
+        assert family.similarity(a, b) == family.collision_probability(a, b)
+
+    def test_determinism_by_seed(self):
+        points = np.random.default_rng(0).standard_normal((4, 8))
+        one = E2Lsh(8, dim=8, width=4.0, seed=9).hash_points(points)
+        two = E2Lsh(8, dim=8, width=4.0, seed=9).hash_points(points)
+        assert np.array_equal(one, two)

@@ -1,0 +1,71 @@
+"""Tests for MurmurHash3 — scalar reference vs vectorized implementations."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsh.murmur import hash_combine, murmur3_32, murmur3_int64
+
+
+class TestScalar:
+    def test_known_reference_vectors(self):
+        # Published MurmurHash3_x86_32 test vectors.
+        assert murmur3_32(b"", 0) == 0
+        assert murmur3_32(b"", 1) == 0x514E28B7
+        assert murmur3_32(b"hello", 0) == 0x248BFA47
+        assert murmur3_32(b"hello, world", 0) == 0x149BBB7F
+
+    def test_seed_changes_hash(self):
+        assert murmur3_32(b"abc", 0) != murmur3_32(b"abc", 1)
+
+
+class TestVectorized:
+    @settings(max_examples=60)
+    @given(st.lists(st.integers(-(2**63), 2**63 - 1), min_size=1, max_size=30), st.integers(0, 2**31 - 1))
+    def test_matches_scalar_bytes_hash(self, values, seed):
+        arr = np.asarray(values, dtype=np.int64)
+        vec = murmur3_int64(arr, seed=seed)
+        for v, h in zip(values, vec):
+            expected = murmur3_32(int(v).to_bytes(8, "little", signed=True), seed=seed)
+            assert int(h) == expected
+
+    def test_deterministic(self):
+        arr = np.arange(100, dtype=np.int64)
+        assert np.array_equal(murmur3_int64(arr, 7), murmur3_int64(arr, 7))
+
+    def test_distribution_roughly_uniform(self):
+        hashes = murmur3_int64(np.arange(100_000, dtype=np.int64)) % 16
+        counts = np.bincount(hashes.astype(np.int64), minlength=16)
+        assert counts.min() > 100_000 / 16 * 0.9
+
+
+class TestHashCombine:
+    def test_equal_rows_equal_hashes(self):
+        rows = np.array([[1, 2, 3], [1, 2, 3], [1, 2, 4]])
+        h = hash_combine(rows)
+        assert h[0] == h[1]
+        assert h[0] != h[2]
+
+    def test_order_matters(self):
+        a = hash_combine(np.array([[1, 2]]))
+        b = hash_combine(np.array([[2, 1]]))
+        assert a[0] != b[0]
+
+    def test_one_dimensional_input(self):
+        h = hash_combine(np.array([5, 5, 6]))
+        assert h[0] == h[1]
+        assert h.shape == (3,)
+
+    @settings(max_examples=30)
+    @given(
+        st.lists(
+            st.lists(st.integers(-100, 100), min_size=3, max_size=3), min_size=2, max_size=10
+        )
+    )
+    def test_collisions_only_for_equal_rows(self, rows):
+        arr = np.asarray(rows, dtype=np.int64)
+        hashes = hash_combine(arr)
+        for i in range(len(rows)):
+            for j in range(i + 1, len(rows)):
+                if rows[i] == rows[j]:
+                    assert hashes[i] == hashes[j]

@@ -1,0 +1,91 @@
+"""Tests for the tau-ANN theory helpers (Theorem 4.1 / Eqn. 9 / Fig. 8)."""
+
+import pytest
+
+from repro.lsh.tann import (
+    fig8_curve,
+    hoeffding_m,
+    practical_m,
+    required_m,
+    similarity_estimate,
+    success_probability,
+    tau_from_eps,
+)
+
+
+class TestHoeffding:
+    def test_paper_value(self):
+        # The paper: m = 2 ln(3/0.06) / 0.06^2 = 2174.
+        assert hoeffding_m(0.06, 0.06) == 2174
+
+    def test_tighter_eps_needs_more_functions(self):
+        assert hoeffding_m(0.03, 0.06) > hoeffding_m(0.06, 0.06)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            hoeffding_m(0.0, 0.06)
+        with pytest.raises(ValueError):
+            hoeffding_m(0.06, 1.5)
+
+
+class TestSuccessProbability:
+    def test_is_probability(self):
+        for s in (0.0, 0.3, 0.5, 1.0):
+            for m in (1, 10, 237):
+                assert 0.0 <= success_probability(s, m) <= 1.0
+
+    def test_extreme_similarities_easy(self):
+        # s = 0 or 1 is deterministic: any m succeeds.
+        assert success_probability(0.0, 5) == pytest.approx(1.0)
+        assert success_probability(1.0, 5) == pytest.approx(1.0)
+
+    def test_wider_eps_easier(self):
+        assert success_probability(0.5, 100, eps=0.1) >= success_probability(0.5, 100, eps=0.05)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            success_probability(1.5, 10)
+        with pytest.raises(ValueError):
+            success_probability(0.5, 0)
+
+
+class TestRequiredM:
+    def test_peak_at_half(self):
+        # The Fig. 8 peak: 234 with strict integer windows (paper reads 237).
+        assert required_m(0.5) == 234
+
+    def test_symmetric_tails_smaller(self):
+        assert required_m(0.1) == required_m(0.9) == 88
+
+    def test_far_below_hoeffding(self):
+        assert practical_m() < hoeffding_m() / 5
+
+    def test_unreachable_raises(self):
+        with pytest.raises(ValueError):
+            required_m(0.5, eps=0.001, delta=0.001, m_max=50)
+
+
+class TestFig8Curve:
+    def test_curve_shape(self):
+        curve = dict(fig8_curve(s_values=[0.1, 0.3, 0.5, 0.7, 0.9]))
+        assert curve[0.5] >= curve[0.3] >= curve[0.1]
+        assert curve[0.5] >= curve[0.7] >= curve[0.9]
+
+    def test_default_grid(self):
+        curve = fig8_curve()
+        assert len(curve) == 19
+        # The paper reads ~237 off this simulation; the strict integer
+        # windows put the grid maximum at 238 (s = 0.45 / 0.55).
+        peak_s, peak_m = max(curve, key=lambda pair: pair[1])
+        assert 234 <= peak_m <= 240
+        assert 0.4 <= peak_s <= 0.6
+
+
+class TestEstimates:
+    def test_similarity_estimate(self):
+        assert similarity_estimate(118, 237) == pytest.approx(118 / 237)
+        with pytest.raises(ValueError):
+            similarity_estimate(1, 0)
+
+    def test_tau_is_twice_eps(self):
+        assert tau_from_eps(0.06) == pytest.approx(0.12)

@@ -1,0 +1,76 @@
+"""Tests for the LSH->GENIE transformer and the tau-ANN index."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import GenieConfig
+from repro.errors import ConfigError, QueryError
+from repro.lsh.e2lsh import E2Lsh
+from repro.lsh.transform import LshTransformer, TauAnnIndex
+
+
+def _family(m=32, dim=8):
+    return E2Lsh(m, dim=dim, width=4.0, seed=0)
+
+
+class TestLshTransformer:
+    def test_keyword_matrix_shape_and_ranges(self):
+        tr = LshTransformer(_family(), domain=67)
+        points = np.random.default_rng(0).standard_normal((10, 8))
+        kw = tr.keyword_matrix(points)
+        assert kw.shape == (10, 32)
+        for j in range(32):
+            assert ((kw[:, j] >= j * 67) & (kw[:, j] < (j + 1) * 67)).all()
+
+    def test_corpus_objects_have_m_keywords(self):
+        tr = LshTransformer(_family(m=16), domain=1000)
+        corpus = tr.to_corpus(np.random.default_rng(0).standard_normal((5, 8)))
+        # Distinct functions live in distinct keyword ranges, so objects
+        # keep all m keywords after set-dedup.
+        assert all(arr.size == 16 for arr in corpus)
+
+    def test_queries_one_item_per_function(self):
+        tr = LshTransformer(_family(m=16), domain=1000)
+        queries = tr.to_queries(np.zeros((3, 8)))
+        assert len(queries) == 3
+        assert all(q.num_items == 16 for q in queries)
+
+
+class TestTauAnnIndex:
+    def test_self_query_returns_self_with_full_count(self):
+        rng = np.random.default_rng(0)
+        points = rng.standard_normal((50, 8))
+        index = TauAnnIndex(_family(), domain=67).fit(points)
+        results = index.query(points[:5], k=1)
+        for i, result in enumerate(results):
+            assert int(result.ids[0]) == i
+            assert int(result.counts[0]) == index.num_functions
+
+    def test_near_points_rank_high(self):
+        rng = np.random.default_rng(1)
+        points = rng.standard_normal((100, 8)) * 5
+        index = TauAnnIndex(_family(m=64), domain=67).fit(points)
+        noisy = points[7] + 0.01 * rng.standard_normal(8)
+        result = index.query(noisy[None, :], k=3)[0]
+        assert int(result.ids[0]) == 7
+
+    def test_search_returns_similarity_estimates(self):
+        points = np.random.default_rng(0).standard_normal((20, 8))
+        index = TauAnnIndex(_family(m=16), domain=67).fit(points)
+        triples = index.search(points[:2], k=2)
+        for ids, counts, estimates in triples:
+            assert np.allclose(estimates, counts / 16.0)
+            assert (estimates <= 1.0).all()
+
+    def test_count_bound_forced_to_m(self):
+        index = TauAnnIndex(_family(m=16), domain=67, config=GenieConfig(k=3))
+        assert index.engine.config.count_bound == 16
+
+    def test_errors(self):
+        index = TauAnnIndex(_family())
+        with pytest.raises(QueryError):
+            index.query(np.zeros((1, 8)))
+        with pytest.raises(QueryError):
+            _ = index.points
+        with pytest.raises(ConfigError):
+            index.fit(np.zeros((0, 8)))

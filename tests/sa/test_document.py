@@ -1,0 +1,68 @@
+"""Tests for short-document search (binary vector-space inner product)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.sa.document import DEFAULT_STOPWORDS, DocumentIndex, WordVocabulary, tokenize
+
+DOCS = [
+    "the quick brown fox jumps",
+    "a lazy dog sleeps all day",
+    "quick dog runs in the park",
+    "brown bears eat honey",
+]
+
+
+class TestTokenize:
+    def test_lowercases_and_strips_stopwords(self):
+        assert tokenize("The Quick FOX") == ["quick", "fox"]
+
+    def test_punctuation_split(self):
+        assert tokenize("dogs, cats; birds!") == ["dogs", "cats", "birds"]
+
+    def test_custom_stopwords(self):
+        assert tokenize("the dog", stopwords=frozenset()) == ["the", "dog"]
+
+    def test_default_stopwords_exclude_articles(self):
+        assert "the" in DEFAULT_STOPWORDS
+
+
+class TestWordVocabulary:
+    def test_dedupe_preserving_first_occurrence(self):
+        vocab = WordVocabulary()
+        ids = vocab.encode(["b", "a", "b"], grow=True)
+        assert ids.tolist() == [0, 1]
+
+    def test_frozen_drops_unknown(self):
+        vocab = WordVocabulary()
+        vocab.encode(["a"], grow=True)
+        assert vocab.encode(["a", "z"], grow=False).tolist() == [0]
+
+
+class TestDocumentIndex:
+    def test_count_equals_inner_product(self):
+        index = DocumentIndex().fit(DOCS)
+        query = "quick brown dog"
+        result = index.query_one(query, k=4)
+        for doc_id, count in result.as_pairs():
+            assert count == index.inner_product(query, DOCS[doc_id])
+
+    def test_most_overlapping_doc_first(self):
+        index = DocumentIndex().fit(DOCS)
+        result = index.query_one("lazy dog sleeps", k=1)
+        assert int(result.ids[0]) == 1
+
+    def test_batch(self):
+        index = DocumentIndex().fit(DOCS)
+        results = index.query_batch(["quick fox", "honey bears"], k=2)
+        assert int(results[0].ids[0]) == 0
+        assert int(results[1].ids[0]) == 3
+
+    def test_unknown_words_raise(self):
+        index = DocumentIndex().fit(DOCS)
+        with pytest.raises(QueryError):
+            index.query_one("zzz qqq", k=1)
+
+    def test_query_before_fit(self):
+        with pytest.raises(QueryError):
+            DocumentIndex().query_one("dog", k=1)

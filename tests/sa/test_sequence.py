@@ -1,0 +1,109 @@
+"""Tests for GENIE sequence search with Algorithm-2 verification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.sa.edit_distance import edit_distance
+from repro.sa.sequence import SequenceIndex
+
+TITLES = [
+    "approximate string matching",
+    "exact string matching",
+    "graph pattern mining",
+    "locality sensitive hashing",
+    "parallel query processing",
+    "similarity search on gpu",
+    "inverted index compression",
+    "sequence alignment methods",
+]
+
+
+class TestBasicSearch:
+    def test_exact_query_finds_itself(self):
+        index = SequenceIndex(n=3).fit(TITLES)
+        result = index.search(TITLES[3], k=1, n_candidates=4)
+        assert result.best.sequence_id == 3
+        assert result.best.distance == 0
+
+    def test_corrupted_query_recovers_original(self):
+        index = SequenceIndex(n=3).fit(TITLES)
+        result = index.search("aproximate string matchng", k=1, n_candidates=4)
+        assert result.best.sequence_id == 0
+
+    def test_topk_ordering(self):
+        index = SequenceIndex(n=3).fit(TITLES)
+        result = index.search("exact string matching", k=3, n_candidates=8)
+        distances = [m.distance for m in result.matches]
+        assert distances == sorted(distances)
+        assert result.matches[0].sequence_id == 1
+
+    def test_unknown_grams_empty_result(self):
+        index = SequenceIndex(n=3).fit(TITLES)
+        result = index.search("zzzzzzzz", k=1, n_candidates=4)
+        assert result.best is None
+
+    def test_errors(self):
+        index = SequenceIndex(n=3)
+        with pytest.raises(QueryError):
+            index.search("abc")
+        index.fit(TITLES)
+        with pytest.raises(QueryError):
+            index.search("abc", k=2, n_candidates=1)
+
+
+class TestCertificate:
+    def test_certified_result_is_truly_optimal(self):
+        index = SequenceIndex(n=3).fit(TITLES)
+        query = "locality sensitve hashing"
+        result = index.search(query, k=1, n_candidates=len(TITLES))
+        best_true = min(edit_distance(query, t) for t in TITLES)
+        assert result.certified
+        assert result.best.distance == best_true
+
+    def test_search_until_certified(self):
+        index = SequenceIndex(n=3).fit(TITLES)
+        result = index.search_until_certified("graph patern mining", k=1)
+        assert result.certified
+        assert result.best.sequence_id == 2
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_certified_searches_match_brute_force(data):
+    """Theorem 5.2: whenever the certificate holds, the result is exact."""
+    rng_seed = data.draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(rng_seed)
+    alphabet = "abc"
+    titles = [
+        "".join(alphabet[int(c)] for c in rng.integers(0, 3, size=rng.integers(6, 14)))
+        for _ in range(12)
+    ]
+    index = SequenceIndex(n=2).fit(titles)
+    query = titles[int(rng.integers(0, len(titles)))]
+    # Corrupt two characters.
+    chars = list(query)
+    for _ in range(2):
+        chars[int(rng.integers(0, len(chars)))] = alphabet[int(rng.integers(0, 3))]
+    query = "".join(chars)
+
+    result = index.search(query, k=1, n_candidates=12)
+    if result.certified and result.best is not None:
+        best_true = min(edit_distance(query, t) for t in titles)
+        assert result.best.distance == best_true
+
+
+class TestVerificationCost:
+    def test_host_charged_for_verification(self):
+        index = SequenceIndex(n=3).fit(TITLES)
+        index.search(TITLES[0], k=1, n_candidates=4)
+        assert index.host.timings.get("verify") > 0
+
+    def test_filter_limits_verifications(self):
+        index = SequenceIndex(n=3).fit(TITLES)
+        result = index.search(TITLES[0], k=1, n_candidates=len(TITLES))
+        # The exact match (distance 0) makes the Theorem-5.1 threshold huge,
+        # so verification stops well before the whole shortlist.
+        assert result.candidates_verified < len(TITLES)
