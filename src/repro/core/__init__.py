@@ -8,6 +8,7 @@ Typical use::
     results = engine.query([Query.from_keywords(sig) for sig in signatures])
 """
 
+from repro.core.batch_scan import BatchScanPlan, plan_batch_scan
 from repro.core.bitmap_counter import BitmapCounter, bits_for_bound
 from repro.core.count_table import CountTable, count_table_batch_bytes
 from repro.core.cpq import CountPriorityQueue, hash_table_capacity
@@ -17,7 +18,14 @@ from repro.core.inverted_index import InvertedIndex
 from repro.core.load_balance import LoadBalanceConfig
 from repro.core.match_count import brute_force_topk, match_count, match_counts_all
 from repro.core.multiload import MultiLoadGenie
-from repro.core.selection import audit_threshold_from_counts, derive_cpq_cost, topk_from_counts
+from repro.core.selection import (
+    audit_threshold_from_counts,
+    audit_threshold_from_counts_batch,
+    derive_cpq_cost,
+    derive_cpq_cost_batch,
+    topk_from_counts,
+    topk_from_counts_batch,
+)
 from repro.core.spq_select import spq_topk
 from repro.core.types import Corpus, Query, TopKResult
 from repro.core.zipper import Gate
@@ -40,8 +48,13 @@ __all__ = [
     "match_counts_all",
     "brute_force_topk",
     "topk_from_counts",
+    "topk_from_counts_batch",
     "audit_threshold_from_counts",
+    "audit_threshold_from_counts_batch",
     "derive_cpq_cost",
+    "derive_cpq_cost_batch",
+    "plan_batch_scan",
+    "BatchScanPlan",
     "spq_topk",
     "bits_for_bound",
     "hash_table_capacity",

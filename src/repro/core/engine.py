@@ -9,6 +9,14 @@
    (postings scan into c-PQ or a plain Count Table), launch the selection
    step, and transfer results back.
 
+The functional work of a batch is array-native end to end: one call to
+:func:`repro.core.batch_scan.plan_batch_scan` resolves every query's
+postings through the CSR position map, computes the whole batch's count
+matrix with fused ``bincount`` tiles, and (with ``select=True``, the
+engine's default) selects every query's top-k while each tile is still
+cache-resident. The per-query reference path (``reference_cpq=True``) runs
+the exact Algorithm-1 c-PQ and is retained for equivalence testing.
+
 The engine is also the home of the memory accounting that reproduces
 Table IV: per-batch structures are really allocated on the simulated
 device, so an oversized batch raises
@@ -22,6 +30,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.core.batch_scan import plan_batch_scan
 from repro.core.bitmap_counter import bits_for_bound
 from repro.core.cpq import CountPriorityQueue, hash_table_capacity
 from repro.core.count_table import COUNT_TABLE_ENTRY_BYTES, SPQ_WORKSPACE_BYTES
@@ -31,9 +40,7 @@ from repro.core.scan_kernel import (
     HT_INSERT_BYTES,
     build_match_launch,
     build_select_launch,
-    plan_query_scan,
 )
-from repro.core.selection import topk_from_counts
 from repro.core.spq_select import spq_topk
 from repro.core.types import Corpus, Query, TopKResult
 from repro.errors import ConfigError, QueryError
@@ -216,10 +223,12 @@ class GenieEngine:
         return results
 
     def _run_batch(self, queries: list[Query], k: int, count_bound: int) -> list[TopKResult]:
-        query_bytes = sum(q.all_keywords().size for q in queries) * 4
+        query_bytes = sum(q.num_keywords for q in queries) * 4
         self.device.charge_seconds(query_bytes / self.device.spec.pcie_bandwidth, stage="query_transfer")
 
-        plans = [plan_query_scan(self.index, q, i, k) for i, q in enumerate(queries)]
+        select = self.config.use_cpq and not self.config.reference_cpq
+        batch = plan_batch_scan(self.index, queries, k, select=select)
+        plans = batch.plans
         match_launch = build_match_launch(
             plans, self.device.spec, self.config.threads_per_block, self.config.use_cpq
         )
@@ -228,7 +237,7 @@ class GenieEngine:
         if self.config.reference_cpq:
             results = [self._reference_query(q, k, count_bound) for q in queries]
         elif self.config.use_cpq:
-            results = [topk_from_counts(plan.counts, k) for plan in plans]
+            results = batch.results
         else:
             results = []
             for plan in plans:
@@ -272,7 +281,10 @@ class GenieEngine:
 
         Returns:
             One result per query, in input order. ``last_profile``
-            accumulates over all batches.
+            accumulates over all batches. If a mid-workload batch raises
+            (e.g. :class:`~repro.errors.GpuOutOfMemoryError`),
+            ``last_profile`` holds the accumulated profile of the batches
+            that completed, not the dangling profile of the failed one.
         """
         queries = list(queries)
         if not queries:
@@ -283,10 +295,12 @@ class GenieEngine:
             batch_size = max(1, min(len(queries), self.max_batch_size(bound, k)))
         results: list[TopKResult] = []
         profile = StageTimings()
-        for start in range(0, len(queries), batch_size):
-            results.extend(self.query(queries[start : start + batch_size], k=k))
-            profile.merge(self.last_profile)
-        self.last_profile = profile
+        try:
+            for start in range(0, len(queries), batch_size):
+                results.extend(self.query(queries[start : start + batch_size], k=k))
+                profile.merge(self.last_profile)
+        finally:
+            self.last_profile = profile
         return results
 
     def _reference_query(self, query: Query, k: int, count_bound: int) -> TopKResult:

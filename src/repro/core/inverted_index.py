@@ -4,13 +4,29 @@ The index stores all postings lists in one flat array destined for GPU
 global memory, and a host-side *position map* from keyword to the address
 range(s) of its list. With load balancing enabled a keyword maps to several
 sublist spans (the one-to-many map of Fig. 4).
+
+The position map is held in CSR form — three dense arrays instead of a
+``dict`` of span lists — so the batch scanner
+(:mod:`repro.core.batch_scan`) can resolve an arbitrary array of keywords to
+spans with fancy indexing instead of a Python loop:
+
+* ``span_starts`` / ``span_ends``: the half-open List-Array range of every
+  (sub-)postings list, in List-Array order,
+* ``kw_span_offsets``: keyword row ``i`` owns spans
+  ``kw_span_offsets[i]:kw_span_offsets[i + 1]``,
+* a keyword → row lookup built once at construction (a dense table when the
+  keyword universe is compact, binary search over the sorted keyword array
+  otherwise).
+
+The original dict-shaped API (``spans_for_keyword`` and friends) remains as
+a thin compatibility layer on top of the CSR arrays.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.load_balance import LoadBalanceConfig, split_span
+from repro.core.load_balance import LoadBalanceConfig
 from repro.core.posting import FlatPostings, build_postings
 from repro.core.types import ID_DTYPE, Corpus
 from repro.errors import IndexError_
@@ -18,16 +34,25 @@ from repro.errors import IndexError_
 #: Bytes the position map costs per span entry (keyword + start + end).
 _POSITION_MAP_ENTRY_BYTES = 24
 
+#: Build a dense keyword -> row table when the keyword universe is at most
+#: this many times larger than the number of distinct keywords.
+_DENSE_LOOKUP_OVERHEAD = 8
+
 
 class InvertedIndex:
     """An inverted index over a keyword corpus.
 
     Build with :meth:`build`; query through
-    :meth:`spans_for_keyword` / :meth:`spans_for_keywords`, or hand the
-    whole index to :class:`repro.core.engine.GenieEngine`.
+    :meth:`spans_for_keyword` / :meth:`spans_for_keywords` (scalar compat
+    API) or :meth:`keyword_rows` + the CSR arrays (vectorized API), or hand
+    the whole index to :class:`repro.core.engine.GenieEngine`.
 
     Attributes:
         list_array: All postings concatenated (object ids).
+        keyword_array: Sorted distinct keywords (one row per keyword).
+        kw_span_offsets: CSR offsets mapping keyword rows to span rows.
+        span_starts: Per-span start position in ``list_array``.
+        span_ends: Per-span end position in ``list_array``.
         n_objects: Number of objects indexed.
         load_balance: The splitting configuration used, or ``None``.
         build_ops: Abstract CPU cost of construction.
@@ -36,16 +61,25 @@ class InvertedIndex:
     def __init__(
         self,
         list_array: np.ndarray,
-        position_map: dict,
+        keyword_array: np.ndarray,
+        kw_span_offsets: np.ndarray,
+        span_starts: np.ndarray,
+        span_ends: np.ndarray,
         n_objects: int,
         load_balance: LoadBalanceConfig | None,
         build_ops: float,
     ):
         self.list_array = np.asarray(list_array, dtype=ID_DTYPE)
-        self._position_map = position_map
+        self.keyword_array = np.asarray(keyword_array, dtype=ID_DTYPE)
+        self.kw_span_offsets = np.asarray(kw_span_offsets, dtype=ID_DTYPE)
+        self.span_starts = np.asarray(span_starts, dtype=ID_DTYPE)
+        self.span_ends = np.asarray(span_ends, dtype=ID_DTYPE)
         self.n_objects = int(n_objects)
         self.load_balance = load_balance
         self.build_ops = float(build_ops)
+        self._kw_lookup = self._build_dense_lookup(self.keyword_array)
+        self._position_map_cache: dict[int, list[tuple[int, int]]] | None = None
+        self._list_array32: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -63,45 +97,138 @@ class InvertedIndex:
             The built index.
         """
         postings = build_postings(corpus)
-        position_map = cls._make_position_map(postings, load_balance)
+        return cls.from_postings(postings, len(corpus), load_balance)
+
+    @classmethod
+    def from_postings(
+        cls,
+        postings: FlatPostings,
+        n_objects: int,
+        load_balance: LoadBalanceConfig | None = None,
+    ) -> "InvertedIndex":
+        """Wrap pre-built flat postings in an index (CSR position map)."""
+        max_len = None if load_balance is None else load_balance.max_sublist_len
+        kw_span_offsets, span_starts, span_ends = postings.span_csr(max_len)
         return cls(
             list_array=postings.list_array,
-            position_map=position_map,
-            n_objects=len(corpus),
+            keyword_array=postings.keywords,
+            kw_span_offsets=kw_span_offsets,
+            span_starts=span_starts,
+            span_ends=span_ends,
+            n_objects=n_objects,
             load_balance=load_balance,
             build_ops=postings.build_ops,
         )
 
     @staticmethod
-    def _make_position_map(postings: FlatPostings, load_balance: LoadBalanceConfig | None) -> dict:
-        position_map: dict[int, list[tuple[int, int]]] = {}
-        for i, keyword in enumerate(postings.keywords):
-            start = int(postings.offsets[i])
-            end = int(postings.offsets[i + 1])
-            if load_balance is None:
-                position_map[int(keyword)] = [(start, end)]
-            else:
-                position_map[int(keyword)] = split_span(start, end, load_balance.max_sublist_len)
-        return position_map
+    def _build_dense_lookup(keywords: np.ndarray) -> np.ndarray | None:
+        """A keyword -> row table, when the keyword universe is compact."""
+        if keywords.size == 0:
+            return None
+        max_kw = int(keywords[-1])
+        if max_kw + 1 > _DENSE_LOOKUP_OVERHEAD * keywords.size + 1024:
+            return None
+        table = np.full(max_kw + 1, -1, dtype=ID_DTYPE)
+        table[keywords] = np.arange(keywords.size, dtype=ID_DTYPE)
+        return table
 
     # ------------------------------------------------------------------
-    # lookups
+    # vectorized lookups
+
+    def keyword_rows(self, keywords: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Resolve an array of keywords to keyword rows, vectorized.
+
+        Args:
+            keywords: Any integer array (need not be sorted or present).
+
+        Returns:
+            ``(rows, found)``: per input keyword its row into
+            ``kw_span_offsets`` and whether it is indexed at all. Rows of
+            absent keywords are garbage and must be masked with ``found``.
+        """
+        kws = np.asarray(keywords, dtype=ID_DTYPE).reshape(-1)
+        if self.keyword_array.size == 0:
+            return np.zeros(kws.size, dtype=ID_DTYPE), np.zeros(kws.size, dtype=bool)
+        if self._kw_lookup is not None:
+            inside = (kws >= 0) & (kws < self._kw_lookup.size)
+            rows = self._kw_lookup[np.where(inside, kws, 0)]
+            return rows, inside & (rows >= 0)
+        rows = np.searchsorted(self.keyword_array, kws)
+        rows = np.minimum(rows, self.keyword_array.size - 1)
+        return rows, self.keyword_array[rows] == kws
+
+    def span_rows_for_keyword_rows(self, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Expand keyword rows to their span rows (CSR gather).
+
+        Args:
+            rows: Valid keyword rows (e.g. the masked output of
+                :meth:`keyword_rows`).
+
+        Returns:
+            ``(span_rows, n_spans)``: the concatenated span rows of every
+            input keyword, in input order, plus each keyword's span count
+            (so callers can segment the flat result).
+        """
+        rows = np.asarray(rows, dtype=ID_DTYPE).reshape(-1)
+        first = self.kw_span_offsets[rows]
+        n_spans = self.kw_span_offsets[rows + 1] - first
+        return ragged_slices(first, n_spans), n_spans
+
+    def gather_span_rows(self, span_rows: np.ndarray) -> np.ndarray:
+        """Concatenate the object ids of the given span rows, vectorized."""
+        starts = self.span_starts[span_rows]
+        lengths = self.span_ends[span_rows] - starts
+        return self.list_array[ragged_slices(starts, lengths)]
+
+    @property
+    def list_array32(self) -> np.ndarray:
+        """The List Array as 32-bit ids (the device's own layout).
+
+        The batch scanner streams postings through this view: object ids
+        always fit 32 bits (a 12 GB card cannot hold more objects), and the
+        halved traffic matters on the host exactly as it does on the device.
+        """
+        if self._list_array32 is None:
+            self._list_array32 = self.list_array.astype(np.int32)
+        return self._list_array32
+
+    # ------------------------------------------------------------------
+    # compatibility lookups (dict-shaped API over the CSR arrays)
 
     @property
     def keywords(self) -> list[int]:
-        """Keywords that have postings (unsorted view of the map's keys)."""
-        return list(self._position_map.keys())
+        """Keywords that have postings."""
+        return self.keyword_array.tolist()
 
     @property
     def num_lists(self) -> int:
         """Number of (sub-)postings lists after any splitting."""
-        return sum(len(spans) for spans in self._position_map.values())
+        return int(self.span_starts.size)
 
     @property
     def max_list_len(self) -> int:
         """Length of the longest (sub-)postings list."""
-        lengths = [end - start for spans in self._position_map.values() for start, end in spans]
-        return max(lengths, default=0)
+        if self.span_starts.size == 0:
+            return 0
+        return int((self.span_ends - self.span_starts).max())
+
+    @property
+    def _position_map(self) -> dict[int, list[tuple[int, int]]]:
+        """The dict view of the CSR position map, built once on demand.
+
+        Scalar per-keyword lookups (this compat API, the CPU baselines) are
+        faster through a dict than through tiny numpy calls; the dict is
+        derived from the CSR arrays the first time it is needed.
+        """
+        if self._position_map_cache is None:
+            offsets = self.kw_span_offsets.tolist()
+            starts = self.span_starts.tolist()
+            ends = self.span_ends.tolist()
+            self._position_map_cache = {
+                int(kw): list(zip(starts[offsets[i] : offsets[i + 1]], ends[offsets[i] : offsets[i + 1]]))
+                for i, kw in enumerate(self.keyword_array.tolist())
+            }
+        return self._position_map_cache
 
     def spans_for_keyword(self, keyword: int) -> list[tuple[int, int]]:
         """Sublist spans for one keyword (empty if it has no postings)."""
@@ -109,9 +236,10 @@ class InvertedIndex:
 
     def spans_for_keywords(self, keywords: np.ndarray) -> list[tuple[int, int]]:
         """Concatenated spans for an array of keywords."""
+        position_map = self._position_map
         spans: list[tuple[int, int]] = []
-        for kw in np.asarray(keywords).reshape(-1):
-            spans.extend(self._position_map.get(int(kw), []))
+        for kw in np.asarray(keywords).reshape(-1).tolist():
+            spans.extend(position_map.get(int(kw), []))
         return spans
 
     def postings_for_keyword(self, keyword: int) -> np.ndarray:
@@ -148,15 +276,46 @@ class InvertedIndex:
 
         Raises:
             IndexError_: If spans overlap, leave gaps, or point outside the
-                List Array.
+                List Array, or if the CSR keyword rows are malformed.
         """
-        all_spans = sorted(
-            (span for spans in self._position_map.values() for span in spans)
-        )
+        if self.kw_span_offsets.size != self.keyword_array.size + 1:
+            raise IndexError_("kw_span_offsets does not cover the keyword rows")
+        if self.span_starts.size != self.span_ends.size:
+            raise IndexError_("span_starts and span_ends must align")
+        if int(self.kw_span_offsets[-1]) != self.num_lists:
+            raise IndexError_("kw_span_offsets does not cover the span rows")
+        order = np.lexsort((self.span_ends, self.span_starts))
+        starts = self.span_starts[order]
+        ends = self.span_ends[order]
         cursor = 0
-        for start, end in all_spans:
-            if start != cursor or end < start:
+        for start, end in zip(starts, ends):
+            if int(start) != cursor or end < start:
                 raise IndexError_(f"span ({start},{end}) breaks coverage at {cursor}")
-            cursor = end
+            cursor = int(end)
         if cursor != self.total_entries:
             raise IndexError_(f"spans cover {cursor} of {self.total_entries} entries")
+
+
+def ragged_slices(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Indices of the concatenation ``[arange(s, s + l) for s, l in ...]``.
+
+    The workhorse of the vectorized gather: expanding many variable-length
+    slices into one flat fancy-index array without a Python loop.
+
+    Args:
+        starts: Start of each slice.
+        lengths: Length of each slice (non-negative).
+
+    Returns:
+        A flat ``int64`` index array of ``lengths.sum()`` entries.
+    """
+    starts = np.asarray(starts, dtype=ID_DTYPE)
+    lengths = np.asarray(lengths, dtype=ID_DTYPE)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=ID_DTYPE)
+    # Each output position i belongs to segment s and should hold
+    # starts[s] + (i - first_output_of_s); fold the correction into repeat.
+    seg_offsets = np.zeros(lengths.size, dtype=ID_DTYPE)
+    np.cumsum(lengths[:-1], out=seg_offsets[1:])
+    return np.arange(total, dtype=ID_DTYPE) + np.repeat(starts - seg_offsets, lengths)

@@ -48,6 +48,41 @@ class FlatPostings:
         """The postings list at position ``index`` (a view)."""
         return self.list_array[self.offsets[index] : self.offsets[index + 1]]
 
+    def span_csr(self, max_sublist_len: int | None = None) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Build the CSR span layout of the position map, vectorized.
+
+        Every keyword's list is (optionally) split into sublists of at most
+        ``max_sublist_len`` entries, exactly like
+        :func:`repro.core.load_balance.split_span`, but for all keywords at
+        once with array arithmetic.
+
+        Args:
+            max_sublist_len: Load-balancing split limit, or ``None`` for one
+                span per keyword.
+
+        Returns:
+            ``(kw_span_offsets, span_starts, span_ends)`` where keyword row
+            ``i`` owns spans ``kw_span_offsets[i]:kw_span_offsets[i + 1]``
+            and span ``j`` covers ``list_array[span_starts[j]:span_ends[j]]``.
+        """
+        starts = self.offsets[:-1].astype(ID_DTYPE)
+        ends = self.offsets[1:].astype(ID_DTYPE)
+        if max_sublist_len is None:
+            kw_span_offsets = np.arange(self.num_lists + 1, dtype=ID_DTYPE)
+            return kw_span_offsets, starts.copy(), ends.copy()
+        max_len = int(max_sublist_len)
+        # ceil((end - start) / max_len); degenerate empty lists keep one span,
+        # matching load_balance.split_span.
+        n_spans = np.maximum(-((starts - ends) // max_len), 1)
+        kw_span_offsets = np.zeros(self.num_lists + 1, dtype=ID_DTYPE)
+        np.cumsum(n_spans, out=kw_span_offsets[1:])
+        total = int(kw_span_offsets[-1])
+        # Within-keyword span rank: 0, 1, ... for each keyword's chunk run.
+        rank = np.arange(total, dtype=ID_DTYPE) - np.repeat(kw_span_offsets[:-1], n_spans)
+        span_starts = np.repeat(starts, n_spans) + rank * max_len
+        span_ends = np.minimum(span_starts + max_len, np.repeat(ends, n_spans))
+        return kw_span_offsets, span_starts, span_ends
+
 
 def build_postings(corpus: Corpus) -> FlatPostings:
     """Build flattened postings lists for a corpus.

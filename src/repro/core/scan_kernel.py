@@ -7,6 +7,13 @@ result of that scan is the per-query final count vector, which this module
 computes with ``bincount``; the *cost* — coalesced list reads, atomic
 contention on hot counters, Gate branch divergence, Hash-Table writes — is
 assembled into a :class:`~repro.gpu.kernel.KernelLaunch`.
+
+:func:`plan_query_scan` is the *per-query* planner. The engine's hot path
+now plans whole batches at once through
+:func:`repro.core.batch_scan.plan_batch_scan`, which produces value-
+identical :class:`QueryScanPlan` records with array-native batch
+computation; the per-query planner remains the readable specification and
+the oracle the batch path is tested against.
 """
 
 from __future__ import annotations
@@ -44,12 +51,16 @@ class QueryScanPlan:
         block_sizes: Postings entries scanned by each block of this query.
         counts: Final per-object match counts (the functional result).
         cpq_cost: Derived c-PQ cost statistics for the query.
+        hot_counts: The positive entries of ``counts`` in ascending-id
+            order, when the planner already extracted them (the batch
+            scanner does); ``None`` means derive from ``counts`` on demand.
     """
 
     query_index: int
     block_sizes: np.ndarray
     counts: np.ndarray
     cpq_cost: CpqCostState
+    hot_counts: np.ndarray | None = None
 
 
 def plan_query_scan(index: InvertedIndex, query: Query, query_index: int, k: int) -> QueryScanPlan:
@@ -112,7 +123,7 @@ def build_match_launch(
     atomic_conflicts = 0.0
     gate_passes = 0.0
     for plan in plans:
-        hot = plan.counts[plan.counts > 0]
+        hot = plan.hot_counts if plan.hot_counts is not None else plan.counts[plan.counts > 0]
         atomic_conflicts += conflicts_from_histogram(hot, spec.warp_size)
         gate_passes += plan.cpq_cost.gate_passes
     # An object's counter hits come from different postings lists scanned by

@@ -10,6 +10,16 @@ counters) and then needs two things:
 
 Both are pure functions of the final counts, because Theorem 3.1 pins the
 final ``AT`` to the k-th count + 1 regardless of scan order.
+
+Every helper has a batched 2-D counterpart (``*_batch``) operating on a
+``(n_queries, n_objects)`` count matrix: one ``argpartition`` /
+``partition`` along axis 1 serves the whole batch. The batched variants
+return exactly what the per-query functions return row by row — including
+the deterministic count-desc / id-asc tie-break — so the two paths are
+interchangeable. They are the public matrix-level API and the oracle the
+engine's hot path is tested against; the engine itself selects inside
+:mod:`repro.core.batch_scan`'s tiled sweep, which implements the same
+contract (``tests/core/test_batch_scan.py`` holds all three to it).
 """
 
 from __future__ import annotations
@@ -46,6 +56,58 @@ def topk_from_counts(counts: np.ndarray, k: int) -> TopKResult:
     return TopKResult(ids=top_ids[positive], counts=top_counts[positive], threshold=threshold)
 
 
+def topk_from_counts_batch(count_matrix: np.ndarray, k: int) -> list[TopKResult]:
+    """Batched :func:`topk_from_counts`: one selection for a whole batch.
+
+    A single ``argpartition`` along axis 1 finds every query's top-k
+    candidates at once. The count-desc / id-asc order (and the tie-break at
+    the k-th count) is enforced by partitioning on the composite key
+    ``count * n + (n - 1 - id)``, which orders exactly like
+    ``lexsort((ids, -counts))``.
+
+    Args:
+        count_matrix: ``(n_queries, n_objects)`` final match counts.
+        k: Result size.
+
+    Returns:
+        One :class:`TopKResult` per row, identical to calling
+        :func:`topk_from_counts` on each row.
+    """
+    count_matrix = np.asarray(count_matrix, dtype=np.int64)
+    if count_matrix.ndim != 2:
+        raise ValueError("count_matrix must be 2-D (n_queries, n_objects)")
+    n_queries, n = count_matrix.shape
+    k = int(k)
+    empty = np.empty(0, dtype=np.int64)
+    if n == 0 or k <= 0:
+        return [TopKResult(ids=empty, counts=empty) for _ in range(n_queries)]
+    max_count = int(count_matrix.max()) if count_matrix.size else 0
+    if max_count >= (2**62) // max(n, 1):
+        # Composite keys would overflow int64; counts this large only occur
+        # in adversarial inputs, where the per-query path is fine.
+        return [topk_from_counts(row, k) for row in count_matrix]
+    take = min(k, n)
+    ids = np.arange(n, dtype=np.int64)
+    keys = count_matrix * n + (n - 1 - ids)
+    top_cols = np.argpartition(keys, n - take, axis=1)[:, n - take :]
+    top_keys = np.take_along_axis(keys, top_cols, axis=1)
+    order = np.argsort(-top_keys, axis=1)
+    top_cols = np.take_along_axis(top_cols, order, axis=1)
+    top_counts = np.take_along_axis(count_matrix, top_cols, axis=1)
+    thresholds = top_counts[:, take - 1]
+    results = []
+    for qi in range(n_queries):
+        positive = top_counts[qi] > 0
+        results.append(
+            TopKResult(
+                ids=top_cols[qi, positive],
+                counts=top_counts[qi, positive],
+                threshold=int(thresholds[qi]),
+            )
+        )
+    return results
+
+
 def audit_threshold_from_counts(counts: np.ndarray, k: int) -> int:
     """The final AuditThreshold: ``MC_k + 1`` by Theorem 3.1.
 
@@ -57,6 +119,25 @@ def audit_threshold_from_counts(counts: np.ndarray, k: int) -> int:
     k = min(int(k), counts.size)
     kth = np.partition(counts, counts.size - k)[counts.size - k]
     return int(kth) + 1
+
+
+def audit_threshold_from_counts_batch(count_matrix: np.ndarray, k: int) -> np.ndarray:
+    """Batched :func:`audit_threshold_from_counts`: one ``partition`` per batch.
+
+    Args:
+        count_matrix: ``(n_queries, n_objects)`` final match counts.
+        k: Result size.
+
+    Returns:
+        Per-row final AuditThreshold (``int64`` array of ``n_queries``).
+    """
+    count_matrix = np.asarray(count_matrix, dtype=np.int64)
+    n_queries, n = count_matrix.shape
+    if n == 0:
+        return np.ones(n_queries, dtype=np.int64)
+    k = min(int(k), n)
+    kth = np.partition(count_matrix, n - k, axis=1)[:, n - k]
+    return kth + 1
 
 
 @dataclass
@@ -101,3 +182,38 @@ def derive_cpq_cost(counts: np.ndarray, k: int) -> CpqCostState:
         gate_passes=passes_high + passes_low,
         updates=int(counts.sum()),
     )
+
+
+def derive_cpq_cost_batch(count_matrix: np.ndarray, k: int) -> list[CpqCostState]:
+    """Batched :func:`derive_cpq_cost`: segmented reductions over the matrix.
+
+    All statistics are integer arithmetic, so the batched reductions return
+    values identical to the per-row function.
+
+    Args:
+        count_matrix: ``(n_queries, n_objects)`` final match counts.
+        k: Result size.
+
+    Returns:
+        One :class:`CpqCostState` per row.
+    """
+    count_matrix = np.asarray(count_matrix, dtype=np.int64)
+    n_queries = count_matrix.shape[0]
+    k = int(k)
+    at = audit_threshold_from_counts_batch(count_matrix, k)
+    nonzero = np.count_nonzero(count_matrix, axis=1)
+    ht_entries = np.minimum(nonzero, k * at)
+    lo = np.maximum(at - 1, 1)
+    above = count_matrix >= lo[:, None]
+    passes_high = np.sum((count_matrix - lo[:, None] + 1) * above, axis=1)
+    passes_low = np.minimum(nonzero, k) * np.maximum(at - 1, 0)
+    updates = count_matrix.sum(axis=1)
+    return [
+        CpqCostState(
+            audit_threshold=int(at[qi]),
+            ht_entries=int(ht_entries[qi]),
+            gate_passes=float(passes_high[qi] + passes_low[qi]),
+            updates=int(updates[qi]),
+        )
+        for qi in range(n_queries)
+    ]

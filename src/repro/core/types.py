@@ -60,12 +60,20 @@ class Corpus:
     def __init__(self, objects):
         self.keyword_arrays: list[np.ndarray] = []
         max_kw = -1
+        total = 0
+        max_size = 0
         for obj in objects:
             arr = np.unique(as_keyword_array(obj))
             self.keyword_arrays.append(arr)
+            total += arr.size
             if arr.size:
                 max_kw = max(max_kw, int(arr[-1]))
+                max_size = max(max_size, arr.size)
         self._max_keyword = max_kw
+        # Sizes are fixed at construction; the engine asks for them on every
+        # batch (device-memory sizing), so they must not be O(n) generators.
+        self._total_entries = total
+        self._max_object_size = max_size
 
     def __len__(self) -> int:
         return len(self.keyword_arrays)
@@ -84,13 +92,11 @@ class Corpus:
     @property
     def total_entries(self) -> int:
         """Total number of (object, keyword) pairs — the index size."""
-        return sum(arr.size for arr in self.keyword_arrays)
+        return self._total_entries
 
     def max_object_size(self) -> int:
         """Keywords in the largest object; a valid match-count bound."""
-        if not self.keyword_arrays:
-            return 0
-        return max(arr.size for arr in self.keyword_arrays)
+        return self._max_object_size
 
 
 @dataclass
@@ -105,8 +111,24 @@ class Query:
 
     def __post_init__(self):
         # A query item is a *set* of elements (Definition 2.1): duplicates
-        # within one item must not double-count an object.
-        self.items = [np.unique(as_keyword_array(item)) for item in self.items]
+        # within one item must not double-count an object. Single-keyword
+        # int64 arrays (the LSH/SA shape, thousands per batch) are already
+        # canonical — validate without the np.unique round-trip.
+        items = []
+        for item in self.items:
+            if (
+                isinstance(item, np.ndarray)
+                and item.ndim == 1
+                and item.size == 1
+                and item.dtype == ID_DTYPE
+            ):
+                if item[0] < 0:
+                    raise QueryError("keywords must be non-negative integers")
+                items.append(item.copy())  # never alias caller-owned storage
+            else:
+                items.append(np.unique(as_keyword_array(item)))
+        self.items = items
+        self._count_bound: int | None = None
 
     @classmethod
     def from_keywords(cls, keywords) -> "Query":
@@ -115,12 +137,17 @@ class Query:
         This is the shape LSH- and SA-transformed queries take: each hash
         signature / n-gram is its own item.
         """
-        return cls(items=[np.asarray([kw], dtype=ID_DTYPE) for kw in as_keyword_array(keywords)])
+        return cls(items=list(as_keyword_array(keywords).reshape(-1, 1)))
 
     @property
     def num_items(self) -> int:
         """Number of query items."""
         return len(self.items)
+
+    @property
+    def num_keywords(self) -> int:
+        """Total keywords across all items (with repeats across items)."""
+        return sum(item.size for item in self.items)
 
     def all_keywords(self) -> np.ndarray:
         """Concatenation of all items' keywords (with repeats across items)."""
@@ -133,11 +160,17 @@ class Query:
 
         Each item can contribute at most the item's own keyword-set size,
         but never more than the object's size; the number of items is the
-        bound the paper uses for LSH/SA data (one keyword per item).
+        bound the paper uses for LSH/SA data (one keyword per item). The
+        value is cached: items are fixed after construction and the engine
+        asks once per batch.
         """
-        return int(sum(min(1, item.size) for item in self.items)) if all(
-            item.size == 1 for item in self.items
-        ) else int(sum(item.size for item in self.items))
+        if self._count_bound is None:
+            self._count_bound = (
+                int(sum(min(1, item.size) for item in self.items))
+                if all(item.size == 1 for item in self.items)
+                else int(sum(item.size for item in self.items))
+            )
+        return self._count_bound
 
 
 @dataclass

@@ -23,7 +23,6 @@ from repro.gpu.kernel import KernelLaunch
 from repro.gpu.memory import DeviceArray, MemoryManager
 from repro.gpu.specs import DEFAULT_COSTS, TITAN_X, CostModel, DeviceSpec
 from repro.gpu.stats import KernelStats, StageTimings
-from repro.gpu.warp import block_cycles
 
 
 class Device:
@@ -104,13 +103,16 @@ class Device:
         Returns:
             A :class:`KernelStats` record, also appended to ``kernel_log``.
         """
-        per_block = np.asarray(
-            [
-                block_cycles(int(n), launch.cycles_per_item, launch.threads_per_block, self.spec)
-                + launch.fixed_cycles_per_block
-                for n in launch.block_items
-            ],
-            dtype=np.float64,
+        # Vectorized block_cycles: passes = ceil(items / lanes), zero items
+        # cost zero compute. Identical values to the scalar helper.
+        lanes = min(launch.threads_per_block, self.spec.cores_per_sm)
+        if lanes <= 0:
+            raise ValueError("threads_per_block must be positive")
+        passes = -(launch.block_items // -lanes)
+        per_block = (
+            np.where(launch.block_items > 0, passes.astype(np.float64), 0.0)
+            * launch.cycles_per_item
+            + launch.fixed_cycles_per_block
         )
         makespan = _schedule_blocks(per_block, self.spec.num_sms)
 

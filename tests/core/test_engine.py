@@ -113,6 +113,39 @@ class TestMemoryBehaviour:
         assert engine.max_batch_size(count_bound=3) > 0
 
 
+class TestBatchedWorkloads:
+    def _engine_and_batches(self):
+        corpus = Corpus([[i % 20, 20 + i % 7] for i in range(300)])
+        device = Device(small_device(16 * 1024))
+        engine = GenieEngine(device=device, config=GenieConfig(k=2)).fit(corpus)
+        small = [Query.from_keywords([i % 20]) for i in range(4)]
+        # A huge count bound inflates the per-query Hash Table until the
+        # batch no longer fits next to the resident index.
+        huge = [Query(items=[[j] for j in range(120)]) for _ in range(4)]
+        return engine, small, huge
+
+    def test_query_batched_merges_profiles(self):
+        engine, small, _ = self._engine_and_batches()
+        engine.query(small[:2])
+        one_batch_match = engine.last_profile.get("match")
+        engine.query_batched(small + small, batch_size=2)
+        assert engine.last_profile.get("match") == pytest.approx(4 * one_batch_match)
+
+    def test_query_batched_oom_keeps_profile_consistent(self):
+        engine, small, huge = self._engine_and_batches()
+        engine.query(small)
+        clean_match = engine.last_profile.get("match")
+        with pytest.raises(GpuOutOfMemoryError):
+            engine.query_batched(small + small + huge, batch_size=4)
+        # Two small batches completed before the third raised: last_profile
+        # holds their accumulated profile, not the dangling failed batch.
+        assert engine.last_profile.get("match") == pytest.approx(2 * clean_match)
+        # The engine stays usable and the failed batch leaked no memory.
+        used_before = engine.device.memory.used
+        engine.query(small)
+        assert engine.device.memory.used == used_before
+
+
 class TestProfiling:
     def test_profile_has_pipeline_stages(self):
         engine = GenieEngine(config=GenieConfig(k=1)).fit(FIG1)

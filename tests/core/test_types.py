@@ -38,7 +38,12 @@ class TestCorpus:
     def test_empty_object_allowed(self):
         corpus = Corpus([[], [1]])
         assert corpus[0].size == 0
-        assert corpus.max_object_size() == 1
+
+    def test_sizes_cached_at_construction(self):
+        corpus = Corpus([[1, 2, 2, 3], [4], []])
+        assert corpus.total_entries == 4  # dedup applies before counting
+        assert corpus.max_object_size() == 3
+        assert Corpus([]).max_object_size() == 0
 
     def test_total_entries_after_dedupe(self):
         corpus = Corpus([[1, 1, 2], [3]])
@@ -73,6 +78,28 @@ class TestQuery:
         query = Query(items=[])
         assert query.num_items == 0
         assert query.all_keywords().size == 0
+        assert query.num_keywords == 0
+        assert query.count_bound() == 0
+
+    def test_num_keywords_counts_repeats_across_items(self):
+        query = Query(items=[[1, 2], [2], []])
+        assert query.num_keywords == 3
+
+    def test_single_keyword_fast_path_still_validates(self):
+        with pytest.raises(QueryError):
+            Query(items=[np.asarray([-3], dtype=np.int64)])
+
+    def test_items_never_alias_caller_arrays(self):
+        raw = np.asarray([5], dtype=np.int64)
+        query = Query(items=[raw])
+        raw[0] = -1
+        assert query.items[0].tolist() == [5]
+
+    def test_items_are_canonical_sets(self):
+        query = Query(items=[[5, 5, 1]])
+        assert query.items[0].tolist() == [1, 5]
+        # count_bound is cached and stable across calls.
+        assert query.count_bound() == query.count_bound() == 2
 
 
 class TestTopKResult:
