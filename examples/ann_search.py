@@ -1,18 +1,20 @@
 """tau-ANN search on SIFT-like vectors with E2LSH (Section IV of the paper).
 
-Fits a GENIE ANN index over 8000 128-d points, runs a query batch, and
-evaluates recall and the Eqn.-13 approximation ratio against exact k-NN.
-Also shows the theory helpers: the Hoeffding m versus the practical m
-(Fig. 8), and the c/m similarity estimate.
+Fits a GENIE ANN index over 8000 128-d points through the unified session
+API (model ``"ann-e2lsh"``), runs a query batch, and evaluates recall and
+the Eqn.-13 approximation ratio against exact k-NN. Also shows the theory
+helpers: the Hoeffding m versus the practical m (Fig. 8), and the c/m
+similarity estimate carried in the search payload.
 
 Run:  python examples/ann_search.py
 """
 
 import numpy as np
 
+from repro.api import GenieSession
 from repro.datasets.synthetic import make_sift_like, true_knn
 from repro.experiments.metrics import batch_approximation_ratio, recall_at_k
-from repro.lsh import E2Lsh, TauAnnIndex, hoeffding_m, practical_m
+from repro.lsh import hoeffding_m, practical_m
 
 K = 10
 M = 64  # scaled from the paper's 237 (= practical_m()) for speed
@@ -23,14 +25,23 @@ def main():
     print(f"This example uses m = {M} functions, re-hashed into 67 buckets.\n")
 
     dataset = make_sift_like(n=8_000, n_queries=50, seed=0)
-    family = E2Lsh(num_functions=M, dim=dataset.dim, width=4.0, seed=1)
-    index = TauAnnIndex(family, domain=67).fit(dataset.data)
+    session = GenieSession()
+    index = session.create_index(
+        dataset.data,
+        model="ann-e2lsh",
+        num_functions=M,
+        dim=dataset.dim,
+        width=4.0,
+        domain=67,
+        seed=1,
+        name="sift",
+    )
 
-    results = index.search(dataset.queries, k=K)
+    result = index.search(dataset.queries, k=K)
     true_ids, true_d = true_knn(dataset.data, dataset.queries, K)
 
     recalls, reported = [], []
-    for (ids, counts, estimates), tids, qp in zip(results, true_ids, dataset.queries):
+    for (ids, counts, estimates), tids, qp in zip(result.payload, true_ids, dataset.queries):
         recalls.append(recall_at_k(ids, tids))
         d = np.sort(np.linalg.norm(dataset.data[ids] - qp[None, :], axis=1))
         d = np.pad(d, (0, K - d.size), mode="edge") if d.size else np.full(K, np.inf)
@@ -39,12 +50,12 @@ def main():
     print(f"recall@{K}:           {np.mean(recalls):.3f}")
     print(f"approximation ratio: {batch_approximation_ratio(np.array(reported), true_d):.4f}")
 
-    ids, counts, estimates = results[0]
+    ids, counts, estimates = result.payload[0]
     print("\nFirst query's top-5 (count = colliding hash functions, c/m = similarity estimate):")
     for obj, count, est in list(zip(ids, counts, estimates))[:5]:
         print(f"  point {obj:>5}   count {count:>3}   c/m = {est:.3f}")
 
-    profile = index.engine.last_profile
+    profile = result.profile
     print(f"\nSimulated batch time: {profile.query_total():.3e} s "
           f"(match {profile.get('match'):.2e} s, select {profile.get('select'):.2e} s)")
 

@@ -1,33 +1,33 @@
 """Short-document search (Section V-B): tweets-like inner-product top-k.
 
-Indexes Zipf-distributed short documents, then retrieves by binary
-vector-space inner product — which is exactly what GENIE's match count
-computes when documents are shredded into words.
+Indexes Zipf-distributed short documents through the unified session API,
+then retrieves by binary vector-space inner product — which is exactly
+what GENIE's match count computes when documents are shredded into words.
 
 Run:  python examples/document_search.py
 """
 
+from repro.api import GenieSession
 from repro.datasets.documents import make_document_queries, make_tweets_like
-from repro.sa.document import DocumentIndex
 
 
 def main():
     docs = make_tweets_like(n=8_000, seed=0)
-    index = DocumentIndex().fit(docs)
+    session = GenieSession()
+    index = session.create_index(docs, model="document", name="tweets")
 
     queries, source_ids = make_document_queries(docs, n_queries=3, drop_fraction=0.3, seed=5)
+    result = index.search(queries, k=3)
 
-    for query, source in zip(queries, source_ids):
+    for query, source, top in zip(queries, source_ids, result.results):
         print(f"query:  {query!r}")
-        result = index.query_one(query, k=3)
-        for rank, (doc_id, count) in enumerate(result.as_pairs(), start=1):
+        for rank, (doc_id, count) in enumerate(top.as_pairs(), start=1):
             origin = " <- source document" if doc_id == source else ""
             print(f"  {rank}. doc {doc_id:>5}  shared words {count}{origin}")
             print(f"     {docs[doc_id]!r}")
         print()
 
-    profile = index.engine.last_profile
-    print(f"simulated time for the last batch: {profile.query_total():.3e} s")
+    print(f"simulated time for the batch: {result.profile.query_total():.3e} s")
 
 
 if __name__ == "__main__":

@@ -1,21 +1,23 @@
-"""Two advanced features in one script:
+"""Two advanced features in one script, both on the unified session API:
 
 1. ANN search in Laplacian-kernel space with Random Binning Hashing and
    re-hashing (the paper's OCR configuration, Section IV-A3).
 2. Multi-loading: querying a dataset that is deliberately too large for a
-   shrunken device's memory (Section III-D).
+   shrunken device's memory (Section III-D) — the session partitions the
+   index with ``part_size`` and swaps the parts through its residency
+   budget, which is observable in the returned profile.
 
 Run:  python examples/kernel_ann_multiload.py
 """
 
 import numpy as np
 
+from repro.api import GenieSession
 from repro.core.engine import GenieConfig
-from repro.core.multiload import MultiLoadGenie
 from repro.datasets.synthetic import make_ocr_like
 from repro.gpu.device import Device
 from repro.gpu.specs import small_device
-from repro.lsh import LshTransformer, RandomBinningHash, TauAnnIndex, estimate_kernel_width
+from repro.lsh import LshTransformer, RandomBinningHash, estimate_kernel_width
 
 
 def kernel_ann():
@@ -23,11 +25,15 @@ def kernel_ann():
     sigma = estimate_kernel_width(dataset.data, seed=0)
     print(f"Laplacian kernel width (mean pairwise l1 distance): sigma = {sigma:.1f}")
 
-    family = RandomBinningHash(num_functions=32, dim=dataset.dim, sigma=sigma, seed=1)
-    index = TauAnnIndex(family, domain=1024).fit(dataset.data)
+    session = GenieSession()
+    index = session.create_index(
+        dataset.data, model="ann-rbh",
+        num_functions=32, dim=dataset.dim, sigma=sigma, domain=1024, seed=1,
+        name="ocr",
+    )
 
-    results = index.query(dataset.queries, k=1)
-    predictions = [int(dataset.labels[r.ids[0]]) if len(r.ids) else -1 for r in results]
+    result = index.search(dataset.queries, k=1)
+    predictions = [int(dataset.labels[r.ids[0]]) if len(r.ids) else -1 for r in result.results]
     accuracy = float(np.mean(np.asarray(predictions) == dataset.query_labels))
     print(f"1-NN classification accuracy via kernel ANN: {accuracy:.3f}\n")
     return dataset
@@ -41,18 +47,19 @@ def multiload(dataset):
     transformer = LshTransformer(family, domain=1024, seed=1)
     corpus = transformer.to_corpus(dataset.data)
 
-    engine = MultiLoadGenie(
-        device=device,
-        config=GenieConfig(k=5, count_bound=32),
-        part_size=1_000,
-    ).fit(corpus)
-    print(f"dataset split into {engine.num_parts} parts for a "
-          f"{device.spec.global_mem_bytes >> 20} MB device")
+    # Residency budget below the full index size: parts must swap through.
+    session = GenieSession(device=device, config=GenieConfig(k=5, count_bound=32),
+                           memory_budget=192 * 1024)
+    index = session.create_index(corpus, model="raw", part_size=1_000, name="oversized")
+    print(f"dataset split into {index.num_parts} parts for a "
+          f"{device.spec.global_mem_bytes >> 20} MB device "
+          f"(index {index.device_bytes >> 10} KB, budget {session.memory_budget >> 10} KB)")
 
     queries = transformer.to_queries(dataset.queries[:16])
-    results = engine.query(queries, k=5)
-    print(f"first query's neighbours: {results[0].as_pairs()}")
-    profile = engine.last_profile
+    result = index.search(queries, k=5)
+    print(f"first query's neighbours: {result[0].as_pairs()}")
+    print(f"parts swapped in: {result.swapped_in}; evictions: {len(result.evicted)}")
+    profile = result.profile
     print(f"index swap-in time: {profile.get('index_transfer'):.3e} s; "
           f"host merge: {profile.get('result_merge'):.3e} s; "
           f"total: {profile.query_total():.3e} s")

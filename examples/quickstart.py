@@ -1,47 +1,49 @@
 """Quickstart: GENIE's match-count model on the paper's running example.
 
-Builds the Fig. 1 relational table, runs the Q1 range query through the
-full simulated-GPU pipeline, and prints the top-k with the per-stage time
-profile (Table-I style).
+Builds the Fig. 1 relational table through the unified session API, runs
+the Q1 range query through the full simulated-GPU pipeline, and prints the
+top-k with the per-stage time profile (Table-I style).
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro.sa.relational import AttributeSpec, RelationalIndex
+from repro.api import GenieSession
+from repro.sa.relational import AttributeSpec
 
 
 def main():
+    session = GenieSession()
     # The Fig. 1 table: three attributes A, B, C over three tuples.
-    index = RelationalIndex(
-        [
-            AttributeSpec("A", "categorical"),
-            AttributeSpec("B", "categorical"),
-            AttributeSpec("C", "categorical"),
-        ]
-    )
-    index.fit(
+    table = session.create_index(
         {
             "A": np.array([1, 2, 1]),
             "B": np.array([2, 1, 3]),
             "C": np.array([1, 2, 3]),
-        }
+        },
+        model="relational",
+        schema=[
+            AttributeSpec("A", "categorical"),
+            AttributeSpec("B", "categorical"),
+            AttributeSpec("C", "categorical"),
+        ],
+        name="fig1",
     )
 
     # Q1 of the paper: 1 <= A <= 2, B = 1, 2 <= C <= 3.
-    results = index.query([{"A": (1, 2), "B": (1, 1), "C": (2, 3)}], k=3)
+    result = table.search([{"A": (1, 2), "B": (1, 1), "C": (2, 3)}], k=3)
 
     print("Q1 = {A in [1,2], B = 1, C in [2,3]}")
     print("rank  object  match count")
-    for rank, (obj, count) in enumerate(results[0].as_pairs(), start=1):
+    for rank, (obj, count) in enumerate(result[0].as_pairs(), start=1):
         print(f"{rank:>4}  O{obj + 1:<6} {count}")
     print()
     print("The top-1 is O2 with match count 3, as in Example 3.1 of the paper.")
-    print(f"c-PQ's AuditThreshold certified the k-th count: {results[0].threshold}")
+    print(f"c-PQ's AuditThreshold certified the k-th count: {result[0].threshold}")
 
     print("\nSimulated pipeline profile (seconds):")
-    for stage, seconds in sorted(index.engine.last_profile.seconds.items()):
+    for stage, seconds in sorted(result.profile.seconds.items()):
         print(f"  {stage:<16} {seconds:.3e}")
 
 

@@ -3,6 +3,8 @@
 Reproduces "A Generic Inverted Index Framework for Similarity Search on the
 GPU" (ICDE 2018). Subpackages:
 
+* :mod:`repro.api` — the unified session layer (match models, multi-index
+  device residency, one search surface per modality),
 * :mod:`repro.gpu` — the simulated GPU/CPU substrate,
 * :mod:`repro.core` — match-count model, inverted index, c-PQ, engine,
 * :mod:`repro.lsh` — LSH families, re-hashing, tau-ANN search,
@@ -13,8 +15,9 @@ GPU" (ICDE 2018). Subpackages:
 * :mod:`repro.experiments` — the figure/table reproduction harness.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+from repro.api import GenieSession, IndexHandle, MatchModel, SearchResult
 from repro.core import Corpus, GenieConfig, GenieEngine, MultiLoadGenie, Query, TopKResult
 from repro.gpu import Device, HostCpu
 
@@ -24,6 +27,10 @@ __all__ = [
     "TopKResult",
     "GenieEngine",
     "GenieConfig",
+    "GenieSession",
+    "IndexHandle",
+    "SearchResult",
+    "MatchModel",
     "MultiLoadGenie",
     "Device",
     "HostCpu",

@@ -1,0 +1,99 @@
+"""Unified GENIE session API: one search surface for every modality.
+
+This package is the public entry point of the reproduction. It replaces
+the four per-modality wrappers (and the separate multi-loading class) with
+three concepts:
+
+* :class:`~repro.api.models.MatchModel` — how raw data becomes keywords
+  (one adapter per modality, extensible via
+  :func:`~repro.api.models.register_model`),
+* :class:`~repro.api.session.GenieSession` — the shared device/host with a
+  device-memory budget and multi-index residency (attach / LRU-evict),
+* :class:`~repro.api.session.IndexHandle` — one named index with the
+  uniform ``search(raw_queries, k=..., batch_size=...)`` surface returning
+  a :class:`~repro.api.session.SearchResult`.
+
+Paper-section map:
+
+========  ==================================================================
+Section   Entry point
+========  ==================================================================
+II-A      The match-count model: ``MatchModel.encode_corpus`` /
+          ``encode_queries`` produce the keyword sets GENIE counts over;
+          ``model="raw"`` exposes it directly.
+III-D     Multiple loading: ``create_index(..., part_size=...)`` partitions
+          a corpus; the session swaps parts through device memory and
+          merges per-part top-k exactly (``swap_parts=True`` reproduces the
+          paper's protocol, the default keeps parts resident under the
+          session's ``memory_budget`` with LRU eviction).
+IV        Tau-ANN on LSH signatures: ``model="ann-e2lsh"`` / ``"ann-rbh"``
+          / ``"ann-minhash"`` / ``"ann-simhash"`` (payload carries the
+          ``c/m`` similarity estimates of Eqn. 7).
+V-A       Sequence search: ``model="sequence"`` (shortlist + Algorithm-2
+          edit-distance verification, Theorem-5.2 certificates in the
+          payload); ``model="ngram"`` for raw common-gram counting.
+V-B       Short documents: ``model="document"``.
+V-C       Relational tables: ``model="relational"`` with an
+          ``AttributeSpec`` schema.
+Table IV  Device-memory accounting: the session's ``memory_budget`` bounds
+          index residency; per-batch query state is still charged by the
+          engine.
+========  ==================================================================
+
+Quickstart::
+
+    from repro.api import GenieSession
+
+    session = GenieSession(memory_budget=256 << 20)
+    tweets = session.create_index(texts, model="document", name="tweets")
+    result = tweets.search(["gpu similarity search"], k=10)
+    result[0].as_pairs()        # [(doc_id, shared words), ...]
+    result.profile.query_total()  # simulated seconds, per stage inside
+
+Deprecation path: the legacy wrappers — ``repro.sa.RelationalIndex``,
+``repro.sa.DocumentIndex``, ``repro.sa.SequenceIndex``,
+``repro.lsh.TauAnnIndex`` and ``repro.core.MultiLoadGenie`` — remain as
+thin shims that each own a single-index session and delegate to this
+layer with unchanged results. New code should create a
+:class:`GenieSession` directly.
+"""
+
+from repro.api.models import (
+    MODEL_REGISTRY,
+    AnnModel,
+    BaseMatchModel,
+    DocumentModel,
+    MatchModel,
+    NgramModel,
+    RawModel,
+    RelationalModel,
+    SequenceModel,
+    available_models,
+    register_model,
+    resolve_model,
+)
+from repro.api.session import (
+    GenieSession,
+    IndexHandle,
+    ResidencyEvent,
+    SearchResult,
+)
+
+__all__ = [
+    "GenieSession",
+    "IndexHandle",
+    "SearchResult",
+    "ResidencyEvent",
+    "MatchModel",
+    "BaseMatchModel",
+    "RawModel",
+    "RelationalModel",
+    "DocumentModel",
+    "SequenceModel",
+    "NgramModel",
+    "AnnModel",
+    "register_model",
+    "resolve_model",
+    "available_models",
+    "MODEL_REGISTRY",
+]

@@ -1,0 +1,524 @@
+"""Match models: raw data -> GENIE keywords, one adapter per modality.
+
+GENIE is *generic* because every workload reduces to the same match-count
+query (Section II-A): front-ends only differ in how they encode raw data
+into keyword sets. A :class:`MatchModel` captures exactly that seam:
+
+* ``encode_corpus(data)`` turns raw data items into a
+  :class:`~repro.core.types.Corpus`,
+* ``encode_queries(data)`` turns raw queries into
+  :class:`~repro.core.types.Query` objects,
+* optional hooks adapt the engine configuration (``adapt_config``), widen
+  the retrieval (``shortlist_k``) and verify/rerank the raw shortlist
+  (``finalize``) — the sequence adapter uses the last two for Algorithm 2's
+  edit-distance verification.
+
+Models are stateful: vocabularies, discretizers and LSH projections are
+learned in ``encode_corpus`` and reused by ``encode_queries``, exactly as
+the legacy per-modality wrappers did.
+
+The string-keyed registry maps the paper's workloads onto models:
+``"relational"`` (Section V-C), ``"document"`` (V-B), ``"sequence"`` /
+``"ngram"`` (V-A), ``"ann-e2lsh"`` / ``"ann-rbh"`` / ``"ann-minhash"`` /
+``"ann-simhash"`` (Section IV, building the family from kwargs) and
+``"ann"`` (wrapping an existing family instance), plus ``"raw"`` for
+pre-encoded keyword data (the multi-loading shim and core-level
+workloads).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.engine import GenieConfig
+from repro.core.types import Corpus, Query
+from repro.errors import ConfigError, QueryError
+from repro.gpu.host import HostCpu
+from repro.lsh.family import LshFamily
+from repro.lsh.transform import DEFAULT_DOMAIN, LshTransformer
+from repro.sa.document import DEFAULT_STOPWORDS, WordVocabulary, tokenize
+from repro.sa.edit_distance import edit_distance, edit_distance_ops
+from repro.sa.ngram import NgramVocabulary
+from repro.sa.relational import AttributeSpec, Discretizer
+from repro.sa.sequence import (
+    PAPER_K_CANDIDATES,
+    SequenceMatch,
+    SequenceSearchResult,
+)
+
+
+@runtime_checkable
+class MatchModel(Protocol):
+    """The encoding contract every modality adapter satisfies.
+
+    Required: ``name``, ``encode_corpus`` and ``encode_queries``. Optional
+    hooks (provided with safe defaults by :class:`BaseMatchModel`):
+
+    * ``adapt_config(config) -> GenieConfig`` — per-model engine tweaks
+      (the ANN model pins ``count_bound`` to ``m``),
+    * ``validate_queries(raw, queries)`` — reject malformed raw queries,
+    * ``shortlist_k(k, **opts) -> int`` — retrieval width when the model
+      reranks a wider shortlist (sequence search retrieves ``n_candidates``),
+    * ``finalize(raw, queries, results, *, k, host, **opts)`` — the
+      verify/rerank hook; its return value becomes
+      :attr:`repro.api.session.SearchResult.payload`.
+    """
+
+    name: str
+
+    def encode_corpus(self, data) -> Corpus: ...
+
+    def encode_queries(self, data) -> list[Query]: ...
+
+
+class BaseMatchModel:
+    """Default hook implementations shared by the bundled models.
+
+    Attributes:
+        name: Registry-style model name (used for auto index names).
+        skip_empty: When ``True`` the session skips zero-item queries
+            instead of sending them to the engine (sequence semantics);
+            the model's ``finalize`` sees an empty result in their place.
+        finalize: ``None`` means no verify/rerank stage.
+    """
+
+    name = "base"
+    skip_empty = False
+    finalize: Callable | None = None
+
+    def adapt_config(self, config: GenieConfig) -> GenieConfig:
+        """Engine configuration this model needs; identity by default."""
+        return config
+
+    def validate_queries(self, raw_queries, queries: list[Query]) -> None:
+        """Reject raw queries the model cannot search; no-op by default."""
+
+    def shortlist_k(self, k: int, **opts) -> int:
+        """Retrieval width for a user-facing ``k``; rejects unknown opts."""
+        if opts:
+            raise QueryError(
+                f"model {self.name!r} does not accept search options: {sorted(opts)}"
+            )
+        return k
+
+
+# ----------------------------------------------------------------------
+# registry
+
+
+MODEL_REGISTRY: dict[str, Callable[..., MatchModel]] = {}
+
+
+def register_model(name: str):
+    """Class/function decorator registering a model factory under ``name``."""
+
+    def decorate(factory):
+        MODEL_REGISTRY[name] = factory
+        return factory
+
+    return decorate
+
+
+def available_models() -> tuple[str, ...]:
+    """Registered model names, sorted."""
+    return tuple(sorted(MODEL_REGISTRY))
+
+
+def resolve_model(model, **model_kwargs) -> MatchModel:
+    """Resolve a model spec into a :class:`MatchModel` instance.
+
+    Args:
+        model: A registry name (e.g. ``"document"``, ``"ann-e2lsh"``) or an
+            object already satisfying the protocol.
+        model_kwargs: Forwarded to the registry factory; invalid for
+            instances.
+
+    Raises:
+        ConfigError: Unknown name, kwargs passed with an instance, or an
+            object that does not satisfy the protocol.
+    """
+    if isinstance(model, str):
+        factory = MODEL_REGISTRY.get(model)
+        if factory is None:
+            raise ConfigError(
+                f"unknown model {model!r}; available: {list(available_models())}"
+            )
+        return factory(**model_kwargs)
+    if model_kwargs:
+        raise ConfigError(
+            "model keyword arguments only apply to registry names, "
+            f"not {type(model).__name__} instances"
+        )
+    for attr in ("encode_corpus", "encode_queries"):
+        if not callable(getattr(model, attr, None)):
+            raise ConfigError(
+                f"{type(model).__name__} does not satisfy MatchModel: missing {attr}()"
+            )
+    return model
+
+
+# ----------------------------------------------------------------------
+# raw keywords
+
+
+@register_model("raw")
+class RawModel(BaseMatchModel):
+    """Identity model: data are already GENIE keyword sets / queries.
+
+    ``encode_corpus`` accepts a :class:`~repro.core.types.Corpus` or any
+    iterable of keyword iterables; ``encode_queries`` accepts
+    :class:`~repro.core.types.Query` objects or keyword iterables (each
+    becoming a one-keyword-per-item query).
+    """
+
+    name = "raw"
+
+    def encode_corpus(self, data) -> Corpus:
+        return data if isinstance(data, Corpus) else Corpus(data)
+
+    def encode_queries(self, data) -> list[Query]:
+        return [q if isinstance(q, Query) else Query.from_keywords(q) for q in data]
+
+
+# ----------------------------------------------------------------------
+# relational tables (Section V-C)
+
+
+@register_model("relational")
+class RelationalModel(BaseMatchModel):
+    """Mixed categorical/numeric tables -> ``(attribute, value)`` keywords.
+
+    Numeric columns are discretized into equal-width bins at encode time;
+    keyword ranges are laid out attribute after attribute (Fig. 1's
+    ``(d, v)`` pair encoding). Raw queries are ``{attribute: (lo, hi)}``
+    range dictionaries; each range expands into one query item.
+
+    Args:
+        schema: One :class:`~repro.sa.relational.AttributeSpec` per column.
+    """
+
+    name = "relational"
+
+    def __init__(self, schema: list[AttributeSpec]):
+        if not schema:
+            raise ConfigError("schema must have at least one attribute")
+        self.schema = list(schema)
+        self._discretizers: dict[str, Discretizer] = {}
+        self._offsets: dict[str, int] = {}
+        self._domain: dict[str, int] = {}
+        self.n_rows = 0
+
+    def _attr(self, name: str) -> AttributeSpec:
+        for spec in self.schema:
+            if spec.name == name:
+                return spec
+        raise QueryError(f"unknown attribute: {name}")
+
+    def encode_corpus(self, columns: dict[str, np.ndarray]) -> Corpus:
+        missing = [spec.name for spec in self.schema if spec.name not in columns]
+        if missing:
+            raise ConfigError(f"columns missing from data: {missing}")
+        lengths = {name: len(np.asarray(col)) for name, col in columns.items()}
+        if len(set(lengths.values())) != 1:
+            raise ConfigError(f"ragged columns: {lengths}")
+        self.n_rows = next(iter(lengths.values()))
+
+        encoded: dict[str, np.ndarray] = {}
+        offset = 0
+        for spec in self.schema:
+            values = np.asarray(columns[spec.name])
+            if spec.kind == "numeric":
+                disc = Discretizer(spec.bins).fit(values)
+                self._discretizers[spec.name] = disc
+                codes = disc.transform(values)
+                domain = spec.bins
+            else:
+                codes = np.asarray(values, dtype=np.int64)
+                if codes.size and codes.min() < 0:
+                    raise ConfigError(f"categorical column {spec.name} has negative codes")
+                domain = int(codes.max()) + 1 if codes.size else 1
+            self._offsets[spec.name] = offset
+            self._domain[spec.name] = domain
+            encoded[spec.name] = codes + offset
+            offset += domain
+
+        rows = np.column_stack([encoded[spec.name] for spec in self.schema])
+        return Corpus(list(rows))
+
+    def _codes_for_range(self, name: str, lo, hi) -> np.ndarray:
+        spec = self._attr(name)
+        domain = self._domain[name]
+        if spec.kind == "numeric":
+            disc = self._discretizers[name]
+            lo_code = int(disc.transform(np.asarray([lo]))[0])
+            hi_code = int(disc.transform(np.asarray([hi]))[0])
+        else:
+            lo_code, hi_code = int(lo), int(hi)
+        lo_code = max(0, min(lo_code, domain - 1))
+        hi_code = max(0, min(hi_code, domain - 1))
+        if hi_code < lo_code:
+            raise QueryError(f"empty range on {name}: [{lo}, {hi}]")
+        return np.arange(lo_code, hi_code + 1, dtype=np.int64) + self._offsets[name]
+
+    def make_query(self, ranges: dict[str, tuple]) -> Query:
+        """Build a GENIE query from ``{attribute: (lo, hi)}`` ranges."""
+        if not ranges:
+            raise QueryError("query must constrain at least one attribute")
+        return Query(items=[self._codes_for_range(name, lo, hi) for name, (lo, hi) in ranges.items()])
+
+    def encode_queries(self, ranges_batch: list[dict[str, tuple]]) -> list[Query]:
+        return [self.make_query(ranges) for ranges in ranges_batch]
+
+
+# ----------------------------------------------------------------------
+# short documents (Section V-B)
+
+
+@register_model("document")
+class DocumentModel(BaseMatchModel):
+    """Short texts -> binary word-vector keywords (match count = inner product).
+
+    Args:
+        stopwords: Words dropped at tokenization time.
+    """
+
+    name = "document"
+
+    def __init__(self, stopwords: frozenset[str] = DEFAULT_STOPWORDS):
+        self.vocabulary = WordVocabulary()
+        self.stopwords = stopwords
+        self.documents: list[str] = []
+
+    def encode_corpus(self, documents: list[str]) -> Corpus:
+        self.documents = list(documents)
+        return Corpus(
+            [self.vocabulary.encode(tokenize(doc, self.stopwords), grow=True) for doc in self.documents]
+        )
+
+    def encode_queries(self, texts: list[str]) -> list[Query]:
+        return [
+            Query.from_keywords(self.vocabulary.encode(tokenize(t, self.stopwords), grow=False))
+            for t in texts
+        ]
+
+    def validate_queries(self, raw_queries, queries: list[Query]) -> None:
+        empty = [i for i, q in enumerate(queries) if q.num_items == 0]
+        if empty:
+            raise QueryError(f"queries {empty} contain no indexed words")
+
+
+# ----------------------------------------------------------------------
+# sequences (Section V-A)
+
+
+@register_model("ngram")
+class NgramModel(BaseMatchModel):
+    """Sequences -> ordered n-gram keywords, *without* verification.
+
+    Match counts are common-gram counts (Lemma 5.1). Queries whose grams
+    are all unseen are skipped and return empty results instead of raising.
+
+    Args:
+        n: Gram length.
+    """
+
+    name = "ngram"
+    skip_empty = True
+
+    def __init__(self, n: int = 3):
+        self.n = int(n)
+        self.vocabulary = NgramVocabulary(self.n)
+        self.sequences: list[str] = []
+
+    def encode_corpus(self, sequences: list[str]) -> Corpus:
+        self.sequences = list(sequences)
+        return Corpus([self.vocabulary.encode(s, grow=True) for s in self.sequences])
+
+    def encode_queries(self, sequences: list[str]) -> list[Query]:
+        return [Query.from_keywords(self.vocabulary.encode(s, grow=False)) for s in sequences]
+
+
+@register_model("sequence")
+class SequenceModel(NgramModel):
+    """N-gram retrieval plus Algorithm 2's edit-distance verification.
+
+    The verify hook retrieves an ``n_candidates``-wide shortlist, verifies
+    it with exact edit distance (cost charged to the host's ``verify``
+    stage) and certifies the answer per Theorem 5.2. The per-query payload
+    is a :class:`~repro.sa.sequence.SequenceSearchResult`.
+    """
+
+    name = "sequence"
+
+    def shortlist_k(self, k: int, n_candidates: int = PAPER_K_CANDIDATES) -> int:
+        if k < 1 or n_candidates < k:
+            raise QueryError("need n_candidates >= k >= 1")
+        return int(n_candidates)
+
+    def finalize(
+        self,
+        raw_queries,
+        queries: list[Query],
+        results,
+        *,
+        k: int,
+        host: HostCpu,
+        n_candidates: int = PAPER_K_CANDIDATES,
+    ) -> list[SequenceSearchResult]:
+        payload = []
+        for raw, query, result in zip(raw_queries, queries, results):
+            if query.num_items == 0:
+                payload.append(SequenceSearchResult(shortlist_size=n_candidates))
+            else:
+                payload.append(
+                    self.verify(raw, result.ids, result.counts, k, n_candidates, host)
+                )
+        return payload
+
+    def verify(
+        self, query: str, ids, counts, k: int, n_candidates: int, host: HostCpu
+    ) -> SequenceSearchResult:
+        """Algorithm 2 generalized to top-k, with cost charged to the host."""
+        n = self.n
+        matches: list[SequenceMatch] = []
+        verified = 0
+
+        def kth_distance() -> int:
+            return matches[k - 1].distance if len(matches) >= k else np.iinfo(np.int64).max
+
+        def filter_threshold() -> float:
+            tau = kth_distance()
+            if tau == np.iinfo(np.int64).max:
+                return -np.inf
+            return len(query) - n + 1 - n * (tau - 1)
+
+        for j, (sid, count) in enumerate(zip(ids, counts)):
+            if j > 0 and matches and filter_threshold() > count:
+                break  # Theorem 5.1: no later candidate can beat the k-th best.
+            candidate = self.sequences[int(sid)]
+            if len(matches) >= k and abs(len(query) - len(candidate)) > kth_distance():
+                continue  # length filter
+            distance = edit_distance(query, candidate)
+            host.charge_ops(edit_distance_ops(len(query), len(candidate)), stage="verify")
+            verified += 1
+            matches.append(SequenceMatch(sequence_id=int(sid), distance=distance, count=int(count)))
+            matches.sort(key=lambda match: (match.distance, match.sequence_id))
+            del matches[k:]
+
+        certified = False
+        if matches and len(ids) > 0:
+            # Theorem 5.2: compare the K-th candidate's count with the bound
+            # derived from the k-th verified distance.
+            c_last = int(counts[-1])
+            tau_k = matches[min(k, len(matches)) - 1].distance
+            certified = (len(ids) < n_candidates) or (
+                c_last < len(query) - n + 1 - tau_k * n
+            )
+        return SequenceSearchResult(
+            matches=matches,
+            certified=certified,
+            candidates_verified=verified,
+            shortlist_size=n_candidates,
+        )
+
+
+# ----------------------------------------------------------------------
+# LSH-transformed high-dimensional data (Section IV)
+
+
+class AnnModel(BaseMatchModel):
+    """Points -> re-hashed LSH signature keywords (tau-ANN search).
+
+    ``adapt_config`` pins the engine's ``count_bound`` to the number of
+    hash functions ``m`` (a count can never exceed the number of colliding
+    functions). The payload of a search is the ``(ids, counts, counts/m)``
+    triple per query — ``c/m`` is the MLE similarity estimate (Eqn. 7).
+
+    Args:
+        family: The LSH family supplying ``h_1 .. h_m``.
+        domain: Re-hash bucket domain ``D``.
+        seed: Seed for the re-hash projections.
+    """
+
+    def __init__(self, family: LshFamily, domain: int = DEFAULT_DOMAIN, seed: int = 0):
+        self.transformer = LshTransformer(family, domain=domain, seed=seed)
+        self.name = f"ann-{type(family).__name__.lower()}"
+        self._points: np.ndarray | None = None
+
+    @property
+    def num_functions(self) -> int:
+        """Number of LSH functions ``m``."""
+        return self.transformer.num_functions
+
+    @property
+    def points(self) -> np.ndarray:
+        """The indexed points (used by evaluations for true distances)."""
+        if self._points is None:
+            raise QueryError("index is not fitted")
+        return self._points
+
+    def adapt_config(self, config: GenieConfig) -> GenieConfig:
+        return config.with_(count_bound=self.num_functions)
+
+    def encode_corpus(self, points) -> Corpus:
+        points = np.atleast_2d(np.asarray(points))
+        if points.shape[0] == 0:
+            raise ConfigError("cannot fit an empty point set")
+        self._points = points
+        return self.transformer.to_corpus(points)
+
+    def encode_queries(self, points) -> list[Query]:
+        return self.transformer.to_queries(np.atleast_2d(np.asarray(points)))
+
+    def finalize(self, raw_queries, queries, results, *, k: int, host: HostCpu) -> list[tuple]:
+        m = float(self.num_functions)
+        return [(r.ids, r.counts, r.counts / m) for r in results]
+
+
+def _register_ann_family(key: str, family_cls):
+    @register_model(key)
+    def factory(
+        family: LshFamily | None = None,
+        domain: int = DEFAULT_DOMAIN,
+        rehash_seed: int = 0,
+        **family_kwargs,
+    ):
+        # ``seed`` inside family_kwargs seeds the LSH family itself;
+        # ``rehash_seed`` seeds the re-hash projections (the ``seed``
+        # argument of AnnModel / the legacy TauAnnIndex).
+        if family is None:
+            family = family_cls(**family_kwargs)
+        elif family_kwargs:
+            raise ConfigError("pass either a family instance or family kwargs, not both")
+        return AnnModel(family, domain=domain, seed=rehash_seed)
+
+    return factory
+
+
+def _ann_factories():
+    # Imported here: the lsh subpackage's family modules are leaves, but
+    # keeping the coupling local makes the registry listing self-contained.
+    from repro.lsh.e2lsh import E2Lsh
+    from repro.lsh.minhash import MinHash
+    from repro.lsh.rbh import RandomBinningHash
+    from repro.lsh.simhash import SimHash
+
+    _register_ann_family("ann-e2lsh", E2Lsh)
+    _register_ann_family("ann-rbh", RandomBinningHash)
+    _register_ann_family("ann-minhash", MinHash)
+    _register_ann_family("ann-simhash", SimHash)
+
+
+_ann_factories()
+
+
+@register_model("ann")
+def _make_ann(family: LshFamily, domain: int = DEFAULT_DOMAIN, rehash_seed: int = 0) -> AnnModel:
+    """Plain ``"ann"`` entry: wrap an existing LSH family instance.
+
+    ``rehash_seed`` seeds the re-hash projections, matching the
+    ``"ann-<family>"`` factories (family seeding belongs to the instance).
+    """
+    return AnnModel(family, domain=domain, seed=rehash_seed)

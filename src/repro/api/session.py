@@ -1,0 +1,583 @@
+"""The GENIE session: one device, many resident indexes, one search surface.
+
+:class:`GenieSession` owns a shared simulated :class:`~repro.gpu.device.Device`
+and :class:`~repro.gpu.host.HostCpu` plus a device-memory budget for index
+residency. Indexes of any modality are created through one call::
+
+    session = GenieSession(memory_budget=64 << 20)
+    docs = session.create_index(texts, model="document", name="tweets")
+    result = docs.search(["gpu similarity search"], k=10)
+
+Every index is one or more *parts* (a part is a corpus slice with its own
+inverted index, built once on the host). The session swaps parts through
+device memory on demand: attaching pays the paper's ``index_transfer``
+stage, and when the budget is exceeded the least-recently-used resident
+part is evicted. This generalizes the multi-loading strategy of
+Section III-D — one oversized index (``part_size=...``) and several small
+indexes of different modalities are the same residency problem — and is
+how the session serves multi-tenant traffic from a single card (Table IV's
+memory accounting bounds what fits next to the queries).
+
+Results come back as a :class:`SearchResult`: per-query top-k ids and
+counts, the per-stage :class:`~repro.gpu.stats.StageTimings` profile
+(including swap-in transfers and host verification), the model-specific
+payload (e.g. edit-distance-verified sequence matches), and the residency
+events (evictions / swap-ins) the search caused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.api.models import MatchModel, resolve_model
+from repro.core.engine import GenieConfig, GenieEngine
+from repro.core.inverted_index import InvertedIndex
+from repro.core.types import ID_DTYPE, Corpus, Query, TopKResult
+from repro.errors import ConfigError, GpuOutOfMemoryError, QueryError
+from repro.gpu.device import Device
+from repro.gpu.host import HostCpu
+from repro.gpu.stats import StageTimings, timings_delta
+
+
+@dataclass(frozen=True)
+class ResidencyEvent:
+    """One device-residency transition caused by the session.
+
+    Attributes:
+        kind: ``"attach"`` (part transferred to the device) or ``"evict"``
+            (part's device memory released).
+        index: Name of the owning index.
+        part: Part position within the index.
+        nbytes: Device bytes the part occupies.
+    """
+
+    kind: str
+    index: str
+    part: int
+    nbytes: int
+
+
+@dataclass
+class SearchResult:
+    """Uniform answer of :meth:`IndexHandle.search` for every modality.
+
+    Attributes:
+        results: One :class:`~repro.core.types.TopKResult` per raw query,
+            in input order.
+        profile: Per-stage simulated seconds for this search, including
+            any ``index_transfer`` swap-ins and host-side ``verify`` /
+            ``result_merge`` work it caused.
+        payload: Model-specific extras — ``None`` for plain match-count
+            models, verified :class:`~repro.sa.sequence.SequenceSearchResult`
+            objects for ``"sequence"``, ``(ids, counts, counts/m)`` triples
+            for ANN models.
+        evicted: Residency evictions this search forced (other indexes or
+            this index's own parts swapping out).
+        swapped_in: Number of parts transferred to the device during the
+            search (0 when everything was already resident).
+    """
+
+    results: list[TopKResult]
+    profile: StageTimings
+    payload: Any = None
+    evicted: tuple[ResidencyEvent, ...] = ()
+    swapped_in: int = 0
+
+    @property
+    def ids(self) -> list[np.ndarray]:
+        """Per-query result ids, aligned with the raw queries."""
+        return [r.ids for r in self.results]
+
+    @property
+    def counts(self) -> list[np.ndarray]:
+        """Per-query match counts, aligned with the raw queries."""
+        return [r.counts for r in self.results]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, i: int) -> TopKResult:
+        return self.results[i]
+
+
+class _IndexPart:
+    """One device-swappable slice of an index: corpus + inverted index + engine."""
+
+    __slots__ = ("handle", "position", "engine", "corpus", "index", "offset", "device_bytes")
+
+    def __init__(self, handle: "IndexHandle", position: int, engine: GenieEngine,
+                 corpus: Corpus, index: InvertedIndex, offset: int):
+        self.handle = handle
+        self.position = position
+        self.engine = engine
+        self.corpus = corpus
+        self.index = index
+        self.offset = offset
+        # The device-resident List Array holds 32-bit ids (what
+        # GenieEngine.attach_index actually transfers and allocates).
+        self.device_bytes = 4 * int(index.list_array.size)
+
+    @property
+    def resident(self) -> bool:
+        return self.engine.index_resident
+
+
+class GenieSession:
+    """Shared device/host plus budgeted multi-index residency.
+
+    Args:
+        device: Simulated GPU shared by every index (fresh when omitted).
+        host: Simulated host CPU (index builds, merges, verification).
+        config: Default engine configuration for created indexes.
+        memory_budget: Device bytes index residency may occupy
+            concurrently; defaults to the device's full global memory.
+            Queries need headroom next to the indexes, so multi-tenant
+            sessions should budget below capacity.
+    """
+
+    def __init__(
+        self,
+        device: Device | None = None,
+        host: HostCpu | None = None,
+        config: GenieConfig | None = None,
+        memory_budget: int | None = None,
+    ):
+        self.device = device if device is not None else Device()
+        self.host = host if host is not None else HostCpu()
+        self.config = config if config is not None else GenieConfig()
+        if memory_budget is None:
+            memory_budget = self.device.memory.capacity
+        if int(memory_budget) <= 0:
+            raise ConfigError("memory_budget must be positive")
+        self.memory_budget = int(memory_budget)
+        self.residency_log: list[ResidencyEvent] = []
+        self._handles: dict[str, IndexHandle] = {}
+        self._resident: dict[int, _IndexPart] = {}  # insertion order == LRU order
+        self._auto_names = 0
+
+    # ------------------------------------------------------------------
+    # index lifecycle
+
+    def create_index(
+        self,
+        data,
+        model: MatchModel | str,
+        name: str | None = None,
+        config: GenieConfig | None = None,
+        part_size: int | None = None,
+        swap_parts: bool = False,
+        **model_kwargs,
+    ) -> "IndexHandle":
+        """Encode ``data`` with ``model`` and register a fitted index.
+
+        Args:
+            data: Raw data in the model's corpus format (texts, points,
+                column dict, keyword sets, ...).
+            model: Registry name (``"document"``, ``"ann-e2lsh"``, ...) or
+                a :class:`~repro.api.models.MatchModel` instance.
+            name: Session-unique index name; auto-generated when omitted.
+            config: Engine configuration override (session default
+                otherwise). Models may adapt it (e.g. ANN's count bound).
+            part_size: Objects per part; partitions the corpus so datasets
+                larger than the budget swap through device memory
+                (Section III-D). ``None`` builds one part.
+            swap_parts: Evict each part right after querying it (the
+                paper's multi-loading protocol). ``False`` leaves parts
+                resident until the budget forces eviction.
+            model_kwargs: Forwarded to the model factory for string specs.
+
+        Returns:
+            The fitted :class:`IndexHandle`.
+        """
+        handle = self.declare_index(
+            model, name=name, config=config, part_size=part_size,
+            swap_parts=swap_parts, **model_kwargs,
+        )
+        return handle.fit(data)
+
+    def declare_index(
+        self,
+        model: MatchModel | str,
+        name: str | None = None,
+        config: GenieConfig | None = None,
+        part_size: int | None = None,
+        swap_parts: bool = False,
+        **model_kwargs,
+    ) -> "IndexHandle":
+        """Register an *unfitted* index; call :meth:`IndexHandle.fit` later.
+
+        Exists so wrappers can expose a configured engine before data
+        arrives; most callers want :meth:`create_index`.
+        """
+        model = resolve_model(model, **model_kwargs)
+        if name is None:
+            name = f"{getattr(model, 'name', 'index')}-{self._auto_names}"
+            self._auto_names += 1
+        if name in self._handles:
+            raise ConfigError(f"an index named {name!r} already exists in this session")
+        handle = IndexHandle(
+            self, name, model,
+            config if config is not None else self.config,
+            part_size=part_size, swap_parts=swap_parts,
+        )
+        self._handles[name] = handle
+        return handle
+
+    def index(self, name: str) -> "IndexHandle":
+        """Look up a registered index by name."""
+        try:
+            return self._handles[name]
+        except KeyError:
+            raise ConfigError(
+                f"no index named {name!r}; registered: {list(self._handles)}"
+            ) from None
+
+    @property
+    def indexes(self) -> tuple[str, ...]:
+        """Names of registered indexes, in creation order."""
+        return tuple(self._handles)
+
+    def evict(self, name: str) -> None:
+        """Evict every resident part of the named index."""
+        self.index(name).evict()
+
+    def drop(self, name: str) -> None:
+        """Evict and unregister the named index."""
+        handle = self.index(name)
+        handle.evict()
+        del self._handles[name]
+
+    def close(self) -> None:
+        """Evict every resident part (handles stay registered)."""
+        for handle in self._handles.values():
+            handle.evict()
+
+    # ------------------------------------------------------------------
+    # residency
+
+    @property
+    def resident_bytes(self) -> int:
+        """Device bytes currently occupied by resident index parts."""
+        return sum(part.device_bytes for part in self._resident.values())
+
+    def resident_parts(self) -> list[tuple[str, int]]:
+        """``(index_name, part_position)`` pairs, LRU-first."""
+        return [(p.handle.name, p.position) for p in self._resident.values()]
+
+    def _ensure_resident(self, part: _IndexPart) -> bool:
+        """Make ``part`` device-resident; returns ``True`` if it transferred.
+
+        Evicts LRU parts while the budget is exceeded, then attaches. If
+        the device itself runs out of memory despite the budget (queries
+        need headroom too), eviction continues until the attach fits or no
+        resident part remains.
+        """
+        key = id(part)
+        if key in self._resident:
+            self._resident.pop(key)
+            self._resident[key] = part  # LRU bump
+            return False
+        if part.device_bytes > self.memory_budget < self.device.memory.capacity:
+            # Only an explicitly constrained budget raises the advisory
+            # error; at full capacity the attach below reports the
+            # hardware-level GpuOutOfMemoryError, as the engine always has.
+            raise ConfigError(
+                f"index part of {part.device_bytes} bytes exceeds the session's "
+                f"memory budget of {self.memory_budget} bytes; partition the "
+                f"index with part_size"
+            )
+        while self._resident and self.resident_bytes + part.device_bytes > self.memory_budget:
+            self._evict_lru()
+        while True:
+            try:
+                part.engine.attach_index(part.index, part.corpus)
+                break
+            except GpuOutOfMemoryError:
+                if not self._resident:
+                    raise
+                self._evict_lru()
+        self._resident[key] = part
+        self.residency_log.append(
+            ResidencyEvent("attach", part.handle.name, part.position, part.device_bytes)
+        )
+        return True
+
+    def _evict_lru(self) -> None:
+        part = next(iter(self._resident.values()))
+        self._evict_part(part)
+
+    def _evict_part(self, part: _IndexPart) -> None:
+        self._resident.pop(id(part), None)
+        if part.engine.index_resident:
+            part.engine.release()
+        self.residency_log.append(
+            ResidencyEvent("evict", part.handle.name, part.position, part.device_bytes)
+        )
+
+
+class IndexHandle:
+    """One named index inside a session: the uniform search surface.
+
+    Obtained from :meth:`GenieSession.create_index`; not constructed
+    directly. The handle owns the model (encoders), the adapted engine
+    configuration, and the index parts the session swaps through device
+    memory.
+    """
+
+    def __init__(
+        self,
+        session: GenieSession,
+        name: str,
+        model: MatchModel,
+        config: GenieConfig,
+        part_size: int | None = None,
+        swap_parts: bool = False,
+    ):
+        if part_size is not None and part_size < 1:
+            raise ConfigError("part_size must be >= 1")
+        self.session = session
+        self.name = name
+        self.model = model
+        adapt = getattr(model, "adapt_config", None)
+        self.config = adapt(config) if adapt is not None else config
+        self.part_size = part_size
+        self.swap_parts = bool(swap_parts)
+        self.last_result: SearchResult | None = None
+        self._parts: list[_IndexPart] = []
+        # The primary engine exists before fit so configuration is
+        # inspectable (and legacy wrappers can expose `.engine`).
+        self._engine0 = GenieEngine(
+            device=session.device, host=session.host, config=self.config
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    @property
+    def engine(self) -> GenieEngine:
+        """The first part's engine (the only one for unpartitioned indexes)."""
+        return self._engine0
+
+    @property
+    def fitted(self) -> bool:
+        """Whether :meth:`fit` has produced at least one part."""
+        return bool(self._parts)
+
+    @property
+    def num_parts(self) -> int:
+        """Number of corpus parts."""
+        return len(self._parts)
+
+    @property
+    def device_bytes(self) -> int:
+        """Device bytes the whole index occupies when fully resident."""
+        return sum(part.device_bytes for part in self._parts)
+
+    @property
+    def resident_parts(self) -> int:
+        """How many of this index's parts are currently device-resident."""
+        return sum(1 for part in self._parts if part.resident)
+
+    @property
+    def resident(self) -> bool:
+        """Whether every part of this index is device-resident."""
+        return bool(self._parts) and self.resident_parts == len(self._parts)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def fit(self, data) -> "IndexHandle":
+        """Encode ``data``, build the part indexes on the host.
+
+        Unpartitioned indexes are attached to the device immediately
+        (paying ``index_transfer``, exactly like the legacy wrappers);
+        partitioned indexes defer residency to search time, matching the
+        multi-loading protocol where only builds happen offline.
+        """
+        corpus = self.model.encode_corpus(data)
+        if not isinstance(corpus, Corpus):
+            corpus = Corpus(corpus)
+        self.evict()
+        self._parts = []
+        if self.part_size is None:
+            slices = [(0, corpus)]
+        else:
+            slices = [
+                (start, Corpus(corpus.keyword_arrays[start : start + self.part_size]))
+                for start in range(0, len(corpus), self.part_size)
+            ]
+        for position, (offset, part_corpus) in enumerate(slices):
+            index = InvertedIndex.build(part_corpus, load_balance=self.config.load_balance)
+            self.session.host.charge_ops(index.build_ops, stage="index_build")
+            engine = self._engine0 if position == 0 else GenieEngine(
+                device=self.session.device, host=self.session.host, config=self.config
+            )
+            self._parts.append(
+                _IndexPart(self, position, engine, part_corpus, index, offset)
+            )
+        if self.part_size is None and self._parts and not self.swap_parts:
+            self.session._ensure_resident(self._parts[0])
+        return self
+
+    def evict(self) -> None:
+        """Release every resident part of this index."""
+        for part in self._parts:
+            if part.resident:
+                self.session._evict_part(part)
+
+    # ------------------------------------------------------------------
+    # search
+
+    def search(
+        self,
+        raw_queries,
+        k: int | None = None,
+        batch_size: int | None = None,
+        **search_opts,
+    ) -> SearchResult:
+        """Encode, retrieve (over all parts), merge, verify.
+
+        Args:
+            raw_queries: Queries in the model's raw format (texts, points,
+                range dicts, keyword sets, ...).
+            k: Results per query (engine config default when omitted).
+            batch_size: Split the workload into device-sized sub-batches
+                (Fig. 11's protocol); one batch when ``None``.
+            search_opts: Model-specific options (e.g. the sequence model's
+                ``n_candidates`` shortlist width).
+
+        Returns:
+            A :class:`SearchResult` aligned with ``raw_queries``.
+
+        Raises:
+            QueryError: Unfitted index, malformed queries, or bad ``k``.
+        """
+        if not self._parts:
+            raise QueryError("index must be fitted before searching")
+        raw_queries = list(raw_queries)
+        if not raw_queries:
+            raise QueryError("empty query batch")
+        queries = self.model.encode_queries(raw_queries)
+        validate = getattr(self.model, "validate_queries", None)
+        if validate is not None:
+            validate(raw_queries, queries)
+        k = int(k if k is not None else self.config.k)
+        if k < 1:
+            raise QueryError("k must be >= 1")
+        shortlist = getattr(self.model, "shortlist_k", None)
+        retrieval_k = int(shortlist(k, **search_opts)) if shortlist is not None else k
+        if shortlist is None and search_opts:
+            raise QueryError(f"unsupported search options: {sorted(search_opts)}")
+
+        if getattr(self.model, "skip_empty", False):
+            active = [i for i, q in enumerate(queries) if q.num_items > 0]
+        else:
+            active = list(range(len(queries)))
+        active_queries = [queries[i] for i in active]
+
+        log_mark = len(self.session.residency_log)
+        profile = StageTimings()
+        if active_queries:
+            merged = self._run_parts(active_queries, retrieval_k, batch_size, profile)
+        else:
+            merged = []
+        results = self._scatter(merged, active, len(queries))
+
+        payload = None
+        finalize = getattr(self.model, "finalize", None)
+        if finalize is not None:
+            host_before = self.session.host.timings.copy()
+            payload = finalize(
+                raw_queries, queries, results, k=k, host=self.session.host, **search_opts
+            )
+            profile.merge(timings_delta(host_before, self.session.host.timings))
+
+        events = self.session.residency_log[log_mark:]
+        result = SearchResult(
+            results=results,
+            profile=profile,
+            payload=payload,
+            evicted=tuple(ev for ev in events if ev.kind == "evict"),
+            swapped_in=sum(1 for ev in events if ev.kind == "attach"),
+        )
+        self.last_result = result
+        return result
+
+    def _run_parts(
+        self,
+        queries: list[Query],
+        k: int,
+        batch_size: int | None,
+        profile: StageTimings,
+    ) -> list[TopKResult]:
+        device = self.session.device
+        if len(self._parts) == 1:
+            part = self._parts[0]
+            transfer_before = device.timings.get("index_transfer")
+            self.session._ensure_resident(part)
+            try:
+                results = self._query_engine(part.engine, queries, k, batch_size)
+            finally:
+                if self.swap_parts:
+                    self.session._evict_part(part)
+            profile.merge(part.engine.last_profile)
+            swap_seconds = device.timings.get("index_transfer") - transfer_before
+            if swap_seconds > 0:
+                profile.add("index_transfer", swap_seconds)
+            return results
+
+        # Multi-part: query each part, merge per query on the host
+        # (Fig. 6). Parts partition the objects, so an object's count is
+        # complete within its part and the merge is exact.
+        merged_ids: list[list[np.ndarray]] = [[] for _ in queries]
+        merged_counts: list[list[np.ndarray]] = [[] for _ in queries]
+        for part in self._parts:
+            transfer_before = device.timings.get("index_transfer")
+            self.session._ensure_resident(part)
+            try:
+                part_results = self._query_engine(part.engine, queries, k, batch_size)
+            finally:
+                if self.swap_parts:
+                    self.session._evict_part(part)
+            profile.merge(part.engine.last_profile)
+            profile.add("index_transfer", device.timings.get("index_transfer") - transfer_before)
+            for qi, part_result in enumerate(part_results):
+                merged_ids[qi].append(part_result.ids + part.offset)
+                merged_counts[qi].append(part_result.counts)
+
+        results = []
+        merge_ops = 0.0
+        for qi in range(len(queries)):
+            ids = np.concatenate(merged_ids[qi]) if merged_ids[qi] else np.empty(0, dtype=ID_DTYPE)
+            counts = (
+                np.concatenate(merged_counts[qi]) if merged_counts[qi] else np.empty(0, dtype=ID_DTYPE)
+            )
+            order = np.lexsort((ids, -counts))[:k]
+            results.append(TopKResult(ids=ids[order], counts=counts[order]))
+            merge_ops += ids.size * max(1.0, np.log2(max(ids.size, 2)))
+        self.session.host.charge_ops(merge_ops, stage="result_merge")
+        profile.add("result_merge", merge_ops / self.session.host.spec.ops_per_second)
+        return results
+
+    @staticmethod
+    def _query_engine(
+        engine: GenieEngine, queries: list[Query], k: int, batch_size: int | None
+    ) -> list[TopKResult]:
+        if batch_size is None:
+            return engine.query(queries, k=k)
+        return engine.query_batched(queries, k=k, batch_size=batch_size)
+
+    @staticmethod
+    def _scatter(merged: list[TopKResult], active: list[int], total: int) -> list[TopKResult]:
+        if len(active) == total:
+            return merged
+        results = [
+            TopKResult(ids=np.empty(0, dtype=ID_DTYPE), counts=np.empty(0, dtype=ID_DTYPE))
+            for _ in range(total)
+        ]
+        for i, result in zip(active, merged):
+            results[i] = result
+        return results

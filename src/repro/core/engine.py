@@ -85,7 +85,17 @@ class GenieConfig:
     reference_cpq: bool = False
 
     def with_(self, **changes) -> "GenieConfig":
-        """A copy of this config with fields replaced."""
+        """A copy of this config with fields replaced.
+
+        Raises:
+            ConfigError: If a keyword does not name a config field.
+        """
+        unknown = [key for key in changes if key not in self.__dataclass_fields__]
+        if unknown:
+            raise ConfigError(
+                f"unknown GenieConfig field(s): {', '.join(sorted(unknown))}; "
+                f"valid fields: {', '.join(self.__dataclass_fields__)}"
+            )
         return replace(self, **changes)
 
 
@@ -155,10 +165,15 @@ class GenieEngine:
         return self
 
     def release(self) -> None:
-        """Free the device-resident index (used by the multi-loader)."""
+        """Free the device-resident index (used by session residency)."""
         if self._index_darray is not None and self._index_darray.is_live:
             self._index_darray.free()
         self._index_darray = None
+
+    @property
+    def index_resident(self) -> bool:
+        """Whether the attached index currently occupies device memory."""
+        return self._index_darray is not None and self._index_darray.is_live
 
     # ------------------------------------------------------------------
     # sizing

@@ -6,14 +6,17 @@ memory in turn, the batch runs against each, and the per-part top-k results
 are merged on the host (Fig. 6). Because parts partition the objects, an
 object's count is computed entirely within its part and the merged result
 is identical to a single-index run.
+
+:class:`MultiLoadGenie` is the deprecated wrapper for this protocol; the
+partitioning, swap-through-residency and merging now live in
+:class:`repro.api.session.GenieSession` (``part_size=...`` /
+``swap_parts=True``), which generalizes them to any number of resident
+indexes of any modality.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.core.engine import GenieConfig, GenieEngine
-from repro.core.inverted_index import InvertedIndex
+from repro.core.engine import GenieConfig
 from repro.core.types import Corpus, Query, TopKResult
 from repro.errors import ConfigError, QueryError
 from repro.gpu.device import Device
@@ -22,7 +25,14 @@ from repro.gpu.stats import StageTimings
 
 
 class MultiLoadGenie:
-    """GENIE with the multiple-loading strategy.
+    """Deprecated wrapper: GENIE with the multiple-loading strategy.
+
+    Thin shim over :class:`repro.api.session.GenieSession` with a
+    ``"raw"`` model, ``part_size`` partitioning and the paper's
+    swap-through protocol (each part is evicted right after its batch);
+    results and stage timings are identical to the historical
+    implementation. New code should call
+    ``session.create_index(corpus, model="raw", part_size=...)``.
 
     Args:
         device: Shared simulated GPU.
@@ -39,19 +49,22 @@ class MultiLoadGenie:
         config: GenieConfig | None = None,
         part_size: int = 100_000,
     ):
+        from repro.api.session import GenieSession
+
         if part_size < 1:
             raise ConfigError("part_size must be >= 1")
-        self.device = device if device is not None else Device()
-        self.host = host if host is not None else HostCpu()
-        self.config = config if config is not None else GenieConfig()
+        self.session = GenieSession(device=device, host=host, config=config)
+        self.device = self.session.device
+        self.host = self.session.host
+        self.config = self.session.config
         self.part_size = int(part_size)
-        self._parts: list[tuple[int, Corpus, InvertedIndex]] = []
+        self.handle = None
         self.last_profile: StageTimings | None = None
 
     @property
     def num_parts(self) -> int:
         """Number of corpus parts."""
-        return len(self._parts)
+        return self.handle.num_parts if self.handle is not None else 0
 
     def fit(self, corpus: Corpus) -> "MultiLoadGenie":
         """Partition the corpus and pre-build each part's index offline.
@@ -59,55 +72,22 @@ class MultiLoadGenie:
         Index construction happens here, on the host, once — at query time
         only the transfers are paid, matching the paper's protocol.
         """
-        if not isinstance(corpus, Corpus):
-            corpus = Corpus(corpus)
-        self._parts = []
-        for start in range(0, len(corpus), self.part_size):
-            part = Corpus(corpus.keyword_arrays[start : start + self.part_size])
-            index = InvertedIndex.build(part, load_balance=self.config.load_balance)
-            self.host.charge_ops(index.build_ops, stage="index_build")
-            self._parts.append((start, part, index))
+        if self.handle is None:
+            self.handle = self.session.create_index(
+                corpus, model="raw", name="multiload",
+                part_size=self.part_size, swap_parts=True,
+            )
+        else:
+            self.handle.fit(corpus)  # refit replaces the parts in place
         return self
 
     def query(self, queries: list[Query], k: int | None = None) -> list[TopKResult]:
         """Run a batch against every part in turn and merge the results."""
-        if not self._parts:
+        if self.handle is None or not self.handle.fitted:
             raise QueryError("multi-load engine must be fitted before querying")
         queries = list(queries)
         if not queries:
             raise QueryError("empty query batch")
-        k = int(k if k is not None else self.config.k)
-
-        profile = StageTimings()
-        merged_ids = [[] for _ in queries]
-        merged_counts = [[] for _ in queries]
-
-        for offset, part, index in self._parts:
-            engine = GenieEngine(device=self.device, host=self.host, config=self.config)
-            transfer_before = self.device.timings.get("index_transfer")
-            engine.attach_index(index, part)  # pays only the index_transfer stage
-            try:
-                part_results = engine.query(queries, k=k)
-            finally:
-                engine.release()
-            profile.merge(engine.last_profile)
-            profile.add("index_transfer", self.device.timings.get("index_transfer") - transfer_before)
-            for qi, result in enumerate(part_results):
-                merged_ids[qi].append(result.ids + offset)
-                merged_counts[qi].append(result.counts)
-
-        results = []
-        merge_ops = 0.0
-        for qi in range(len(queries)):
-            ids = np.concatenate(merged_ids[qi]) if merged_ids[qi] else np.empty(0, dtype=np.int64)
-            counts = (
-                np.concatenate(merged_counts[qi]) if merged_counts[qi] else np.empty(0, dtype=np.int64)
-            )
-            order = np.lexsort((ids, -counts))[:k]
-            results.append(TopKResult(ids=ids[order], counts=counts[order]))
-            merge_ops += ids.size * max(1.0, np.log2(max(ids.size, 2)))
-        self.host.charge_ops(merge_ops, stage="result_merge")
-        profile.add("result_merge", merge_ops / self.host.spec.ops_per_second)
-
-        self.last_profile = profile
-        return results
+        result = self.handle.search(queries, k=k)
+        self.last_profile = result.profile
+        return result.results

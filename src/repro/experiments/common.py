@@ -1,7 +1,10 @@
 """Shared setup helpers for the experiment runners.
 
 Each helper builds one "system under test" on a fresh simulated device so
-experiments compare like against like. Default scales are laptop-sized;
+experiments compare like against like. GENIE systems are built through the
+unified :mod:`repro.api` session layer; the returned :class:`AnnSetup`
+exposes both the session/handle surface and the legacy ``index`` wrapper
+view that older runners still consume. Default scales are laptop-sized;
 every runner takes overrides (see EXPERIMENTS.md for the scale mapping to
 the paper's setup).
 """
@@ -12,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.session import GenieSession, IndexHandle
 from repro.core.engine import GenieConfig
 from repro.datasets.synthetic import PointDataset
 from repro.gpu.device import Device
@@ -33,12 +37,36 @@ DEFAULT_K = 10
 
 @dataclass
 class AnnSetup:
-    """A fitted GENIE ANN index together with its device and dataset."""
+    """A fitted GENIE ANN index together with its device and dataset.
+
+    Attributes:
+        index: Legacy wrapper view (kept for older runners).
+        device: The simulated GPU shared by the session.
+        host: The simulated host CPU.
+        dataset: The point dataset the index was fitted on.
+        session: The owning :class:`~repro.api.session.GenieSession`.
+        handle: The fitted index's uniform search surface.
+    """
 
     index: TauAnnIndex
     device: Device
     host: HostCpu
     dataset: PointDataset
+    session: GenieSession | None = None
+    handle: IndexHandle | None = None
+
+
+def _ann_setup(dataset: PointDataset, family, domain: int, k: int,
+               config: GenieConfig | None, seed: int) -> AnnSetup:
+    device = Device()
+    host = HostCpu()
+    base = (config or GenieConfig()).with_(k=k)
+    index = TauAnnIndex(family, domain=domain, device=device, host=host, config=base, seed=seed)
+    index.fit(dataset.data)
+    return AnnSetup(
+        index=index, device=device, host=host, dataset=dataset,
+        session=index.session, handle=index.handle,
+    )
 
 
 def fit_genie_sift(
@@ -51,13 +79,8 @@ def fit_genie_sift(
     seed: int = 0,
 ) -> AnnSetup:
     """GENIE over E2LSH signatures (the SIFT configuration)."""
-    device = Device()
-    host = HostCpu()
     family = E2Lsh(m, dataset.dim, width, p=2, seed=seed)
-    base = (config or GenieConfig()).with_(k=k)
-    index = TauAnnIndex(family, domain=domain, device=device, host=host, config=base, seed=seed)
-    index.fit(dataset.data)
-    return AnnSetup(index=index, device=device, host=host, dataset=dataset)
+    return _ann_setup(dataset, family, domain, k, config, seed)
 
 
 def fit_genie_ocr(
@@ -73,20 +96,15 @@ def fit_genie_ocr(
     The kernel width follows the paper's heuristic: the mean pairwise l1
     distance of a data sample.
     """
-    device = Device()
-    host = HostCpu()
     sigma = estimate_kernel_width(dataset.data, seed=seed)
     family = RandomBinningHash(m, dataset.dim, sigma, seed=seed)
-    base = (config or GenieConfig()).with_(k=k)
-    index = TauAnnIndex(family, domain=domain, device=device, host=host, config=base, seed=seed)
-    index.fit(dataset.data)
-    return AnnSetup(index=index, device=device, host=host, dataset=dataset)
+    return _ann_setup(dataset, family, domain, k, config, seed)
 
 
 def genie_batch_seconds(setup: AnnSetup, query_points: np.ndarray, k: int = DEFAULT_K) -> float:
     """Run one batch on a fitted GENIE setup; returns simulated seconds."""
-    setup.index.query(query_points, k=k)
-    return setup.index.engine.last_profile.query_total()
+    result = setup.handle.search(query_points, k=k)
+    return result.profile.query_total()
 
 
 def reported_distances(
@@ -110,3 +128,15 @@ def reported_distances(
         if d.size < k:
             out[i, d.size :] = d[-1]
     return out
+
+
+__all__ = [
+    "DEFAULT_M",
+    "DEFAULT_DOMAIN",
+    "DEFAULT_K",
+    "AnnSetup",
+    "fit_genie_sift",
+    "fit_genie_ocr",
+    "genie_batch_seconds",
+    "reported_distances",
+]

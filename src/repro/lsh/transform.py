@@ -2,10 +2,11 @@
 
 :class:`LshTransformer` turns points into GENIE objects/queries: point
 ``p`` becomes ``[r_1(h_1(p)), ..., r_m(h_m(p))]`` with keyword
-``i * D + bucket`` for function ``i`` (Section IV-A1). On top of it,
-:class:`TauAnnIndex` is the user-facing ANN index: fit points, query
-points, get back neighbor ids with match counts and the MLE similarity
-estimate ``c/m``.
+``i * D + bucket`` for function ``i`` (Section IV-A1).
+
+:class:`TauAnnIndex` is the deprecated user-facing wrapper; the encoding
+lives in :class:`repro.api.models.AnnModel` and the engine work in
+:class:`repro.api.session.GenieSession`.
 """
 
 from __future__ import annotations
@@ -14,7 +15,7 @@ import numpy as np
 
 from repro.core.engine import GenieConfig, GenieEngine
 from repro.core.types import Corpus, Query, TopKResult
-from repro.errors import ConfigError, QueryError
+from repro.errors import QueryError
 from repro.gpu.device import Device
 from repro.gpu.host import HostCpu
 from repro.lsh.family import LshFamily
@@ -57,7 +58,13 @@ class LshTransformer:
 
 
 class TauAnnIndex:
-    """Tau-ANN search on GENIE (Theorem 4.2).
+    """Deprecated wrapper: tau-ANN search on GENIE (Theorem 4.2).
+
+    Thin shim over :class:`repro.api.session.GenieSession` with an
+    :class:`~repro.api.models.AnnModel`; results, the forced
+    ``count_bound = m`` and stage timings are identical to the historical
+    implementation. New code should call
+    ``session.create_index(points, model="ann-e2lsh", ...)``.
 
     Args:
         family: LSH family matching the target similarity measure.
@@ -78,35 +85,36 @@ class TauAnnIndex:
         config: GenieConfig | None = None,
         seed: int = 0,
     ):
-        self.transformer = LshTransformer(family, domain=domain, seed=seed)
-        base = config if config is not None else GenieConfig()
-        self.engine = GenieEngine(
-            device=device,
-            host=host,
-            config=base.with_(count_bound=family.num_functions),
+        from repro.api.models import AnnModel
+        from repro.api.session import GenieSession
+
+        self._model = AnnModel(family, domain=domain, seed=seed)
+        self.session = GenieSession(device=device, host=host)
+        self.handle = self.session.declare_index(
+            self._model, name="tau-ann", config=config or GenieConfig()
         )
-        self._points: np.ndarray | None = None
+        self.transformer = self._model.transformer
+
+    @property
+    def engine(self) -> GenieEngine:
+        """The underlying engine (kept for experiment/profiling code)."""
+        return self.handle.engine
 
     @property
     def num_functions(self) -> int:
         """Number of LSH functions ``m``."""
-        return self.transformer.num_functions
+        return self._model.num_functions
 
     def fit(self, points: np.ndarray) -> "TauAnnIndex":
         """Hash, re-hash and index the data points."""
-        points = np.atleast_2d(np.asarray(points))
-        if points.shape[0] == 0:
-            raise ConfigError("cannot fit an empty point set")
-        self._points = points
-        self.engine.fit(self.transformer.to_corpus(points))
+        self.handle.fit(points)
         return self
 
     def query(self, query_points: np.ndarray, k: int | None = None) -> list[TopKResult]:
         """Batched tau-ANN search; top result per query is the tau-ANN."""
-        if self._points is None:
+        if not self.handle.fitted:
             raise QueryError("index must be fitted before querying")
-        queries = self.transformer.to_queries(np.atleast_2d(np.asarray(query_points)))
-        return self.engine.query(queries, k=k)
+        return self.handle.search(query_points, k=k).results
 
     def search(self, query_points: np.ndarray, k: int | None = None):
         """Search and attach similarity estimates.
@@ -116,13 +124,11 @@ class TauAnnIndex:
             ``estimates = counts / m`` is the MLE of the similarity
             (Eqn. 7).
         """
-        results = self.query(query_points, k=k)
-        m = float(self.num_functions)
-        return [(r.ids, r.counts, r.counts / m) for r in results]
+        if not self.handle.fitted:
+            raise QueryError("index must be fitted before querying")
+        return self.handle.search(query_points, k=k).payload
 
     @property
     def points(self) -> np.ndarray:
         """The indexed points (used by evaluations to compute true distances)."""
-        if self._points is None:
-            raise QueryError("index is not fitted")
-        return self._points
+        return self._model.points

@@ -2,6 +2,11 @@
 
 Documents are shredded into words; the match count between two documents is
 then exactly the inner product of their binary vector-space representations.
+
+This module keeps the tokenization primitives (:func:`tokenize`,
+:class:`WordVocabulary`) and the deprecated :class:`DocumentIndex` wrapper;
+the encoding lives in :class:`repro.api.models.DocumentModel` and the
+engine work in :class:`repro.api.session.GenieSession`.
 """
 
 from __future__ import annotations
@@ -11,7 +16,7 @@ import re
 import numpy as np
 
 from repro.core.engine import GenieConfig, GenieEngine
-from repro.core.types import Corpus, Query, TopKResult
+from repro.core.types import TopKResult
 from repro.errors import QueryError
 from repro.gpu.device import Device
 from repro.gpu.host import HostCpu
@@ -53,10 +58,12 @@ class WordVocabulary:
 
 
 class DocumentIndex:
-    """GENIE-backed short-document search.
+    """Deprecated wrapper: GENIE-backed short-document search.
 
-    The returned match count of a result equals the inner product between
-    the query's and the document's binary word vectors.
+    Thin shim over :class:`repro.api.session.GenieSession` with a
+    ``"document"`` model; results and stage timings are identical to the
+    historical implementation. New code should call
+    ``session.create_index(texts, model="document")``.
 
     Args:
         device: Simulated GPU.
@@ -72,18 +79,34 @@ class DocumentIndex:
         config: GenieConfig | None = None,
         stopwords: frozenset[str] = DEFAULT_STOPWORDS,
     ):
-        self.vocabulary = WordVocabulary()
+        from repro.api.models import DocumentModel
+        from repro.api.session import GenieSession
+
+        self._model = DocumentModel(stopwords=stopwords)
+        self.session = GenieSession(device=device, host=host)
+        self.handle = self.session.declare_index(
+            self._model, name="document", config=config or GenieConfig()
+        )
         self.stopwords = stopwords
-        self.engine = GenieEngine(device=device, host=host, config=config or GenieConfig())
-        self.documents: list[str] = []
+
+    @property
+    def engine(self) -> GenieEngine:
+        """The underlying engine (kept for experiment/profiling code)."""
+        return self.handle.engine
+
+    @property
+    def vocabulary(self) -> WordVocabulary:
+        """The word -> keyword map learned at fit time."""
+        return self._model.vocabulary
+
+    @property
+    def documents(self) -> list[str]:
+        """The indexed documents."""
+        return self._model.documents
 
     def fit(self, documents: list[str]) -> "DocumentIndex":
         """Tokenize and index the documents."""
-        self.documents = list(documents)
-        corpus = Corpus(
-            [self.vocabulary.encode(tokenize(doc, self.stopwords), grow=True) for doc in self.documents]
-        )
-        self.engine.fit(corpus)
+        self.handle.fit(documents)
         return self
 
     def query_one(self, text: str, k: int = 10) -> TopKResult:
@@ -94,14 +117,7 @@ class DocumentIndex:
         """Batched document search."""
         if not self.documents:
             raise QueryError("index must be fitted before querying")
-        queries = [
-            Query.from_keywords(self.vocabulary.encode(tokenize(t, self.stopwords), grow=False))
-            for t in texts
-        ]
-        empty = [i for i, q in enumerate(queries) if q.num_items == 0]
-        if empty:
-            raise QueryError(f"queries {empty} contain no indexed words")
-        return self.engine.query(queries, k=k)
+        return self.handle.search(texts, k=k).results
 
     def inner_product(self, a: str, b: str) -> int:
         """Reference binary vector-space inner product of two texts."""

@@ -5,6 +5,11 @@ attributes are first discretized into equal-width intervals (the paper uses
 1024 on Adult). A range-selection query turns each per-attribute range into
 one query item containing every keyword in the range; GENIE then ranks
 tuples by how many of their attributes fall inside the query's ranges.
+
+This module keeps the encoding primitives (:class:`AttributeSpec`,
+:class:`Discretizer`) and the deprecated :class:`RelationalIndex` wrapper;
+the encoding itself lives in :class:`repro.api.models.RelationalModel` and
+the engine work in :class:`repro.api.session.GenieSession`.
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.engine import GenieConfig, GenieEngine
-from repro.core.types import Corpus, Query, TopKResult
+from repro.core.types import Query, TopKResult
 from repro.errors import ConfigError, QueryError
 from repro.gpu.device import Device
 from repro.gpu.host import HostCpu
@@ -46,7 +51,12 @@ class AttributeSpec:
 
 
 class Discretizer:
-    """Equal-width binning for one numeric column."""
+    """Equal-width binning for one numeric column.
+
+    A degenerate range (a constant column, ``lo == hi``) collapses to the
+    single valid bin 0 — no division by the zero-width span ever happens,
+    and every transformed value stays inside ``[0, bins)``.
+    """
 
     def __init__(self, bins: int):
         self.bins = int(bins)
@@ -54,8 +64,17 @@ class Discretizer:
         self.hi = 1.0
 
     def fit(self, values: np.ndarray) -> "Discretizer":
-        """Learn the value range from data."""
+        """Learn the value range from data.
+
+        Raises:
+            ConfigError: If ``values`` is empty or contains non-finite
+                entries (the range would be undefined).
+        """
         values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise ConfigError("cannot fit a discretizer on an empty column")
+        if not np.isfinite(values).all():
+            raise ConfigError("numeric column contains non-finite values")
         self.lo = float(values.min())
         self.hi = float(values.max())
         return self
@@ -64,14 +83,19 @@ class Discretizer:
         """Bin ids in ``[0, bins)``; out-of-range values clamp to the edges."""
         values = np.asarray(values, dtype=np.float64)
         span = self.hi - self.lo
-        if span <= 0:
+        if not span > 0:  # constant column, or an unfitted degenerate range
             return np.zeros(values.shape, dtype=np.int64)
         raw = np.floor((values - self.lo) / span * self.bins).astype(np.int64)
         return np.clip(raw, 0, self.bins - 1)
 
 
 class RelationalIndex:
-    """GENIE top-k selection over a mixed categorical/numeric table.
+    """Deprecated wrapper: GENIE top-k selection over a mixed table.
+
+    Thin shim over :class:`repro.api.session.GenieSession` with a
+    ``"relational"`` model; results, errors and stage timings are identical
+    to the historical implementation. New code should call
+    ``session.create_index(columns, model="relational", schema=...)``.
 
     Args:
         schema: One :class:`AttributeSpec` per column, in column order.
@@ -87,83 +111,37 @@ class RelationalIndex:
         host: HostCpu | None = None,
         config: GenieConfig | None = None,
     ):
-        if not schema:
-            raise ConfigError("schema must have at least one attribute")
-        self.schema = list(schema)
-        self.engine = GenieEngine(device=device, host=host, config=config or GenieConfig())
-        self._discretizers: dict[str, Discretizer] = {}
-        self._offsets: dict[str, int] = {}
-        self._domain: dict[str, int] = {}
-        self.n_rows = 0
+        from repro.api.models import RelationalModel
+        from repro.api.session import GenieSession
 
-    def _attr(self, name: str) -> AttributeSpec:
-        for spec in self.schema:
-            if spec.name == name:
-                return spec
-        raise QueryError(f"unknown attribute: {name}")
+        self._model = RelationalModel(schema)
+        self.session = GenieSession(device=device, host=host)
+        self.handle = self.session.declare_index(
+            self._model, name="relational", config=config or GenieConfig()
+        )
+        self.schema = self._model.schema
+
+    @property
+    def engine(self) -> GenieEngine:
+        """The underlying engine (kept for experiment/profiling code)."""
+        return self.handle.engine
+
+    @property
+    def n_rows(self) -> int:
+        """Rows indexed so far (0 before :meth:`fit`)."""
+        return self._model.n_rows
 
     def fit(self, columns: dict[str, np.ndarray]) -> "RelationalIndex":
-        """Index a table given as ``{column_name: values}``.
-
-        Numeric columns are discretized; keyword ranges are laid out
-        attribute after attribute, exactly the ``(d, v)`` pair encoding of
-        Fig. 1.
-        """
-        missing = [spec.name for spec in self.schema if spec.name not in columns]
-        if missing:
-            raise ConfigError(f"columns missing from data: {missing}")
-        lengths = {name: len(np.asarray(col)) for name, col in columns.items()}
-        if len(set(lengths.values())) != 1:
-            raise ConfigError(f"ragged columns: {lengths}")
-        self.n_rows = next(iter(lengths.values()))
-
-        encoded: dict[str, np.ndarray] = {}
-        offset = 0
-        for spec in self.schema:
-            values = np.asarray(columns[spec.name])
-            if spec.kind == "numeric":
-                disc = Discretizer(spec.bins).fit(values)
-                self._discretizers[spec.name] = disc
-                codes = disc.transform(values)
-                domain = spec.bins
-            else:
-                codes = np.asarray(values, dtype=np.int64)
-                if codes.size and codes.min() < 0:
-                    raise ConfigError(f"categorical column {spec.name} has negative codes")
-                domain = int(codes.max()) + 1 if codes.size else 1
-            self._offsets[spec.name] = offset
-            self._domain[spec.name] = domain
-            encoded[spec.name] = codes + offset
-            offset += domain
-
-        rows = np.column_stack([encoded[spec.name] for spec in self.schema])
-        self.engine.fit(Corpus(list(rows)))
+        """Index a table given as ``{column_name: values}``."""
+        self.handle.fit(columns)
         return self
-
-    def _codes_for_range(self, name: str, lo, hi) -> np.ndarray:
-        spec = self._attr(name)
-        domain = self._domain[name]
-        if spec.kind == "numeric":
-            disc = self._discretizers[name]
-            lo_code = int(disc.transform(np.asarray([lo]))[0])
-            hi_code = int(disc.transform(np.asarray([hi]))[0])
-        else:
-            lo_code, hi_code = int(lo), int(hi)
-        lo_code = max(0, min(lo_code, domain - 1))
-        hi_code = max(0, min(hi_code, domain - 1))
-        if hi_code < lo_code:
-            raise QueryError(f"empty range on {name}: [{lo}, {hi}]")
-        return np.arange(lo_code, hi_code + 1, dtype=np.int64) + self._offsets[name]
 
     def make_query(self, ranges: dict[str, tuple]) -> Query:
         """Build a GENIE query from ``{attribute: (lo, hi)}`` ranges."""
-        if not ranges:
-            raise QueryError("query must constrain at least one attribute")
-        return Query(items=[self._codes_for_range(name, lo, hi) for name, (lo, hi) in ranges.items()])
+        return self._model.make_query(ranges)
 
     def query(self, ranges_batch: list[dict[str, tuple]], k: int = 10) -> list[TopKResult]:
         """Batched top-k selection; counts = matched attributes per tuple."""
         if self.n_rows == 0:
             raise QueryError("index must be fitted before querying")
-        queries = [self.make_query(ranges) for ranges in ranges_batch]
-        return self.engine.query(queries, k=k)
+        return self.handle.search(ranges_batch, k=k).results

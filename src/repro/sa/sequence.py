@@ -6,20 +6,21 @@ with exact edit distance using Algorithm 2's filter bounds. Theorem 5.2
 gives a *certificate*: when the K-th candidate's count falls below
 ``|Q| - n + 1 - tau_k' * n``, the returned top-k is provably the true
 top-k; otherwise the search can be repeated with a larger K.
+
+This module keeps the result dataclasses and the deprecated
+:class:`SequenceIndex` wrapper; the encoding and the verification hook live
+in :class:`repro.api.models.SequenceModel`, driven through
+:class:`repro.api.session.GenieSession`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.core.engine import GenieConfig, GenieEngine
-from repro.core.types import Corpus, Query
 from repro.errors import QueryError
 from repro.gpu.device import Device
 from repro.gpu.host import HostCpu
-from repro.sa.edit_distance import edit_distance, edit_distance_ops
 from repro.sa.ngram import NgramVocabulary
 
 #: The paper's defaults for DBLP: K = 32 shortlist, top-1 result.
@@ -59,7 +60,14 @@ class SequenceSearchResult:
 
 
 class SequenceIndex:
-    """GENIE-backed sequence similarity search.
+    """Deprecated wrapper: GENIE-backed sequence similarity search.
+
+    Thin shim over :class:`repro.api.session.GenieSession` with a
+    ``"sequence"`` model; retrieval, verification and certificates are
+    identical to the historical implementation. New code should call
+    ``session.create_index(sequences, model="sequence", n=...)`` and read
+    the verified :class:`SequenceSearchResult` payload off
+    ``handle.search(...)``.
 
     Args:
         n: n-gram length (3 by default, as for DBLP titles).
@@ -75,21 +83,40 @@ class SequenceIndex:
         host: HostCpu | None = None,
         config: GenieConfig | None = None,
     ):
-        self.n = int(n)
-        self.vocabulary = NgramVocabulary(self.n)
-        self.host = host if host is not None else HostCpu()
-        self.engine = GenieEngine(device=device, host=self.host, config=config or GenieConfig())
-        self.sequences: list[str] = []
+        from repro.api.models import SequenceModel
+        from repro.api.session import GenieSession
+
+        self._model = SequenceModel(n=n)
+        self.session = GenieSession(device=device, host=host)
+        self.handle = self.session.declare_index(
+            self._model, name="sequence", config=config or GenieConfig()
+        )
+        self.n = self._model.n
+
+    @property
+    def engine(self) -> GenieEngine:
+        """The underlying engine (kept for experiment/profiling code)."""
+        return self.handle.engine
+
+    @property
+    def host(self) -> HostCpu:
+        """The simulated host CPU charged for verification."""
+        return self.session.host
+
+    @property
+    def vocabulary(self) -> NgramVocabulary:
+        """The ordered-n-gram -> keyword map learned at fit time."""
+        return self._model.vocabulary
+
+    @property
+    def sequences(self) -> list[str]:
+        """The indexed sequences."""
+        return self._model.sequences
 
     def fit(self, sequences: list[str]) -> "SequenceIndex":
         """Shred and index the data sequences."""
-        self.sequences = list(sequences)
-        corpus = Corpus([self.vocabulary.encode(s, grow=True) for s in self.sequences])
-        self.engine.fit(corpus)
+        self.handle.fit(sequences)
         return self
-
-    def _query_for(self, sequence: str) -> Query:
-        return Query.from_keywords(self.vocabulary.encode(sequence, grow=False))
 
     def search(
         self, query: str, k: int = 1, n_candidates: int = PAPER_K_CANDIDATES
@@ -109,55 +136,7 @@ class SequenceIndex:
             raise QueryError("index must be fitted before searching")
         if k < 1 or n_candidates < k:
             raise QueryError("need n_candidates >= k >= 1")
-        genie_query = self._query_for(query)
-        if genie_query.num_items == 0:
-            return SequenceSearchResult(shortlist_size=n_candidates)
-        shortlist = self.engine.query([genie_query], k=n_candidates)[0]
-        return self._verify(query, shortlist.ids, shortlist.counts, k, n_candidates)
-
-    def _verify(self, query: str, ids, counts, k: int, n_candidates: int) -> SequenceSearchResult:
-        """Algorithm 2 generalized to top-k, with cost charged to the host."""
-        n = self.n
-        matches: list[SequenceMatch] = []
-        verified = 0
-
-        def kth_distance() -> int:
-            return matches[k - 1].distance if len(matches) >= k else np.iinfo(np.int64).max
-
-        def filter_threshold() -> float:
-            tau = kth_distance()
-            if tau == np.iinfo(np.int64).max:
-                return -np.inf
-            return len(query) - n + 1 - n * (tau - 1)
-
-        for j, (sid, count) in enumerate(zip(ids, counts)):
-            if j > 0 and matches and filter_threshold() > count:
-                break  # Theorem 5.1: no later candidate can beat the k-th best.
-            candidate = self.sequences[int(sid)]
-            if len(matches) >= k and abs(len(query) - len(candidate)) > kth_distance():
-                continue  # length filter
-            distance = edit_distance(query, candidate)
-            self.host.charge_ops(edit_distance_ops(len(query), len(candidate)), stage="verify")
-            verified += 1
-            matches.append(SequenceMatch(sequence_id=int(sid), distance=distance, count=int(count)))
-            matches.sort(key=lambda match: (match.distance, match.sequence_id))
-            del matches[k:]
-
-        certified = False
-        if matches and len(ids) > 0:
-            # Theorem 5.2: compare the K-th candidate's count with the bound
-            # derived from the k-th verified distance.
-            c_last = int(counts[-1])
-            tau_k = matches[min(k, len(matches)) - 1].distance
-            certified = (len(ids) < n_candidates) or (
-                c_last < len(query) - n + 1 - tau_k * n
-            )
-        return SequenceSearchResult(
-            matches=matches,
-            certified=certified,
-            candidates_verified=verified,
-            shortlist_size=n_candidates,
-        )
+        return self.handle.search([query], k=k, n_candidates=n_candidates).payload[0]
 
     def search_until_certified(
         self,

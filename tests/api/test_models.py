@@ -1,0 +1,148 @@
+"""Tests for the MatchModel protocol and the model registry."""
+
+import numpy as np
+import pytest
+
+from repro.api.models import (
+    AnnModel,
+    BaseMatchModel,
+    DocumentModel,
+    MatchModel,
+    NgramModel,
+    RawModel,
+    RelationalModel,
+    SequenceModel,
+    available_models,
+    register_model,
+    resolve_model,
+)
+from repro.core.types import Corpus, Query
+from repro.errors import ConfigError, QueryError
+from repro.lsh.e2lsh import E2Lsh
+from repro.sa.relational import AttributeSpec
+
+
+class TestRegistry:
+    def test_paper_modalities_registered(self):
+        names = available_models()
+        for expected in ("relational", "document", "sequence", "ngram", "raw"):
+            assert expected in names
+        assert any(name.startswith("ann-") for name in names)
+
+    def test_resolve_by_name_with_kwargs(self):
+        model = resolve_model("sequence", n=4)
+        assert isinstance(model, SequenceModel)
+        assert model.n == 4
+
+    def test_resolve_ann_family(self):
+        model = resolve_model("ann-e2lsh", num_functions=8, dim=4, width=4.0, domain=67)
+        assert isinstance(model, AnnModel)
+        assert model.num_functions == 8
+
+    def test_ann_factory_routes_seeds_consistently(self):
+        # `seed` reaches the LSH family; `rehash_seed` reaches the re-hash
+        # projections — in both the family-building and instance spellings.
+        built = resolve_model(
+            "ann-e2lsh", num_functions=4, dim=4, width=4.0, seed=7, rehash_seed=3
+        )
+        assert built.transformer.family.seed == 7
+        wrapped = resolve_model("ann", family=E2Lsh(4, 4, 4.0, seed=7), rehash_seed=3)
+        assert wrapped.transformer.family.seed == 7
+        pts = np.random.default_rng(0).standard_normal((3, 4))
+        assert np.array_equal(built.transformer.keyword_matrix(pts),
+                              wrapped.transformer.keyword_matrix(pts))
+
+    def test_resolve_instance_passthrough(self):
+        model = DocumentModel()
+        assert resolve_model(model) is model
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigError, match="unknown model"):
+            resolve_model("nope")
+
+    def test_kwargs_with_instance_raise(self):
+        with pytest.raises(ConfigError):
+            resolve_model(DocumentModel(), n=3)
+
+    def test_non_model_rejected(self):
+        with pytest.raises(ConfigError, match="MatchModel"):
+            resolve_model(object())
+
+    def test_custom_registration(self):
+        @register_model("test-custom")
+        class Custom(BaseMatchModel):
+            name = "test-custom"
+
+            def encode_corpus(self, data):
+                return Corpus(data)
+
+            def encode_queries(self, data):
+                return [Query.from_keywords(q) for q in data]
+
+        try:
+            assert isinstance(resolve_model("test-custom"), Custom)
+        finally:
+            from repro.api.models import MODEL_REGISTRY
+
+            del MODEL_REGISTRY["test-custom"]
+
+    def test_models_satisfy_protocol(self):
+        instances = [
+            RawModel(),
+            RelationalModel([AttributeSpec("x", "categorical")]),
+            DocumentModel(),
+            SequenceModel(),
+            NgramModel(),
+            AnnModel(E2Lsh(4, 4, 4.0, seed=0)),
+        ]
+        for model in instances:
+            assert isinstance(model, MatchModel)
+
+
+class TestRawModel:
+    def test_corpus_passthrough_and_wrap(self):
+        corpus = Corpus([[1, 2], [3]])
+        model = RawModel()
+        assert model.encode_corpus(corpus) is corpus
+        assert len(model.encode_corpus([[0], [1, 2]])) == 2
+
+    def test_queries_accept_query_or_keywords(self):
+        model = RawModel()
+        q = Query.from_keywords([1, 2])
+        out = model.encode_queries([q, [3, 4]])
+        assert out[0] is q
+        assert out[1].num_items == 2
+
+
+class TestAnnModel:
+    def test_adapt_config_pins_count_bound(self):
+        from repro.core.engine import GenieConfig
+
+        model = AnnModel(E2Lsh(16, 8, 4.0, seed=0), domain=67)
+        assert model.adapt_config(GenieConfig(k=3)).count_bound == 16
+
+    def test_empty_fit_rejected(self):
+        model = AnnModel(E2Lsh(4, 8, 4.0, seed=0))
+        with pytest.raises(ConfigError):
+            model.encode_corpus(np.zeros((0, 8)))
+
+    def test_points_before_fit_raise(self):
+        model = AnnModel(E2Lsh(4, 8, 4.0, seed=0))
+        with pytest.raises(QueryError):
+            _ = model.points
+
+    def test_name_includes_family(self):
+        assert AnnModel(E2Lsh(4, 8, 4.0, seed=0)).name == "ann-e2lsh"
+
+
+class TestSequenceModel:
+    def test_shortlist_validation(self):
+        model = SequenceModel()
+        with pytest.raises(QueryError):
+            model.shortlist_k(5, n_candidates=2)
+        assert model.shortlist_k(1, n_candidates=8) == 8
+
+    def test_unknown_search_option_rejected(self):
+        model = NgramModel()
+        with pytest.raises(QueryError, match="search options"):
+            model.shortlist_k(1, bogus=2)

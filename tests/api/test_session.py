@@ -1,0 +1,242 @@
+"""Tests for GenieSession: residency, budgets, eviction, the uniform surface."""
+
+import numpy as np
+import pytest
+
+from repro.api import GenieSession
+from repro.core.types import Query
+from repro.errors import ConfigError, QueryError
+from repro.sa.relational import AttributeSpec
+
+
+def _docs(n=30):
+    words = ["gpu", "index", "search", "fast", "cat", "dog", "tree", "blue"]
+    rng = np.random.default_rng(0)
+    return [" ".join(rng.choice(words, size=4, replace=False)) for _ in range(n)]
+
+
+class TestSessionBasics:
+    def test_create_and_lookup_by_name(self):
+        session = GenieSession()
+        handle = session.create_index(_docs(), model="document", name="tweets")
+        assert session.index("tweets") is handle
+        assert session.indexes == ("tweets",)
+
+    def test_auto_names_unique(self):
+        session = GenieSession()
+        a = session.create_index(_docs(), model="document")
+        b = session.create_index(_docs(), model="document")
+        assert a.name != b.name
+
+    def test_duplicate_name_rejected(self):
+        session = GenieSession()
+        session.create_index(_docs(), model="document", name="x")
+        with pytest.raises(ConfigError, match="already exists"):
+            session.create_index(_docs(), model="document", name="x")
+
+    def test_unknown_name_lookup(self):
+        with pytest.raises(ConfigError, match="no index named"):
+            GenieSession().index("missing")
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ConfigError):
+            GenieSession(memory_budget=0)
+
+    def test_search_before_fit_raises(self):
+        session = GenieSession()
+        handle = session.declare_index("document")
+        with pytest.raises(QueryError, match="fitted"):
+            handle.search(["hello"], k=1)
+
+    def test_empty_batch_rejected(self):
+        session = GenieSession()
+        handle = session.create_index(_docs(), model="document")
+        with pytest.raises(QueryError, match="empty query batch"):
+            handle.search([], k=1)
+
+    def test_bad_k_rejected(self):
+        session = GenieSession()
+        handle = session.create_index(_docs(), model="document")
+        with pytest.raises(QueryError, match="k must be"):
+            handle.search(["gpu index"], k=0)
+
+    def test_unsupported_search_option_rejected(self):
+        session = GenieSession()
+        handle = session.create_index(_docs(), model="document")
+        with pytest.raises(QueryError):
+            handle.search(["gpu index"], k=1, n_candidates=5)
+
+    def test_drop_unregisters_and_frees(self):
+        session = GenieSession()
+        handle = session.create_index(_docs(), model="document", name="x")
+        assert handle.resident
+        session.drop("x")
+        assert session.indexes == ()
+        assert session.resident_bytes == 0
+
+    def test_close_evicts_everything(self):
+        session = GenieSession()
+        session.create_index(_docs(), model="document", name="x")
+        session.create_index([[1, 2], [2, 3]], model="raw", name="y")
+        assert session.resident_bytes > 0
+        session.close()
+        assert session.resident_bytes == 0
+        assert session.indexes == ("x", "y")
+
+
+class TestSearchSurface:
+    def test_document_search_result_shape(self):
+        session = GenieSession()
+        handle = session.create_index(_docs(), model="document")
+        result = handle.search(["gpu index search", "cat dog"], k=3)
+        assert len(result) == 2
+        assert len(result.ids) == 2 and len(result.counts) == 2
+        assert result.payload is None
+        assert result.profile.get("match") > 0
+
+    def test_relational_search(self):
+        session = GenieSession()
+        handle = session.create_index(
+            {"A": np.array([1, 2, 1]), "B": np.array([2, 1, 3]), "C": np.array([1, 2, 3])},
+            model="relational",
+            schema=[AttributeSpec(n, "categorical") for n in "ABC"],
+        )
+        result = handle.search([{"A": (1, 2), "B": (1, 1), "C": (2, 3)}], k=3)
+        assert result[0].as_pairs() == [(1, 3), (2, 2), (0, 1)]
+
+    def test_sequence_search_payload_verified(self):
+        titles = ["approximate string matching", "inverted index search", "graph processing systems"]
+        session = GenieSession()
+        handle = session.create_index(titles, model="sequence", n=3)
+        result = handle.search(["approximate string matcing"], k=1, n_candidates=3)
+        seq = result.payload[0]
+        assert seq.best.sequence_id == 0
+        assert seq.best.distance == 1
+        assert result.profile.get("verify") > 0
+
+    def test_sequence_unseen_query_skipped(self):
+        session = GenieSession()
+        handle = session.create_index(["abcdef", "bcdefg"], model="sequence", n=3)
+        result = handle.search(["zzzzzz"], k=1, n_candidates=2)
+        assert len(result[0]) == 0
+        assert result.payload[0].matches == []
+
+    def test_ann_search_estimates(self):
+        rng = np.random.default_rng(0)
+        points = rng.standard_normal((40, 8))
+        session = GenieSession()
+        handle = session.create_index(
+            points, model="ann-e2lsh", num_functions=16, dim=8, width=4.0, seed=0, domain=67
+        )
+        assert handle.config.count_bound == 16
+        result = handle.search(points[:3], k=2)
+        for (ids, counts, estimates), top in zip(result.payload, result.results):
+            assert np.allclose(estimates, counts / 16.0)
+            assert np.array_equal(ids, top.ids)
+
+    def test_batched_search_matches_single_batch(self):
+        session = GenieSession()
+        docs = _docs(40)
+        handle = session.create_index(docs, model="document")
+        queries = [docs[i] for i in range(8)]
+        whole = handle.search(queries, k=3)
+        split = handle.search(queries, k=3, batch_size=3)
+        for a, b in zip(whole.results, split.results):
+            assert np.array_equal(a.ids, b.ids)
+            assert np.array_equal(a.counts, b.counts)
+
+
+class TestResidency:
+    def test_multiple_indexes_share_budget_with_lru_eviction(self):
+        corpus_a = [[i % 7] for i in range(600)]
+        corpus_b = [[i % 5] for i in range(600)]
+        session = GenieSession()
+        a = session.create_index(corpus_a, model="raw", name="a")
+        b_bytes = a.device_bytes  # same shape, same footprint
+        session.memory_budget = a.device_bytes + b_bytes // 2  # only one fits
+        b = session.create_index(corpus_b, model="raw", name="b")
+        # Creating b evicted a (LRU) to fit within the budget.
+        assert b.resident and not a.resident
+        assert session.resident_parts() == [("b", 0)]
+
+        result = a.search([Query.from_keywords([0])], k=2)
+        assert result.swapped_in == 1
+        assert [e.index for e in result.evicted] == ["b"]
+        assert a.resident and not b.resident
+
+    def test_resident_search_needs_no_swap(self):
+        session = GenieSession()
+        handle = session.create_index(_docs(), model="document")
+        result = handle.search(["gpu index"], k=2)
+        assert result.swapped_in == 0 and result.evicted == ()
+        assert "index_transfer" not in result.profile.seconds
+
+    def test_swap_in_charged_to_profile(self):
+        session = GenieSession()
+        handle = session.create_index(_docs(), model="document")
+        session.evict(handle.name)
+        result = handle.search(["gpu index"], k=2)
+        assert result.swapped_in == 1
+        assert result.profile.get("index_transfer") > 0
+
+    def test_oversized_part_rejected_with_hint(self):
+        session = GenieSession(memory_budget=8)
+        with pytest.raises(ConfigError, match="part_size"):
+            session.create_index([[i] for i in range(100)], model="raw")
+
+    def test_index_larger_than_device_raises_oom(self):
+        # With no explicit budget the hardware-level error surfaces, as it
+        # always has for the engine/wrapper path.
+        from repro.errors import GpuOutOfMemoryError
+        from repro.gpu.device import Device
+        from repro.gpu.specs import small_device
+
+        session = GenieSession(device=Device(small_device(1024)))
+        with pytest.raises(GpuOutOfMemoryError):
+            session.create_index([[i] for i in range(1000)], model="raw")
+
+    def test_partitioned_index_swaps_through_budget(self):
+        corpus = [[i % 11] for i in range(1000)]
+        session = GenieSession()
+        whole = session.create_index(corpus, model="raw", name="whole")
+        budget = whole.device_bytes // 2
+        session.memory_budget = max(budget, 16)
+        parted = session.create_index(corpus, model="raw", name="parted", part_size=250)
+        assert parted.num_parts == 4
+
+        query = Query.from_keywords([0, 3])
+        result = parted.search([query], k=5)
+        assert result.swapped_in >= 4  # every part transferred at least once
+        assert len(result.evicted) > 0  # the budget forced swap-outs
+        assert result.profile.get("index_transfer") > 0
+        assert result.profile.get("result_merge") > 0
+
+    def test_multimodal_session_within_budget(self):
+        """Acceptance demo: >= 3 modalities resident under one stated budget."""
+        rng = np.random.default_rng(1)
+        session = GenieSession(memory_budget=512 * 1024)
+        docs = session.create_index(_docs(50), model="document", name="tweets")
+        seqs = session.create_index(
+            ["approximate string matching", "generic inverted index", "similarity search on gpu"],
+            model="sequence", name="titles",
+        )
+        ann = session.create_index(
+            rng.standard_normal((60, 8)), model="ann-e2lsh",
+            num_functions=8, dim=8, width=4.0, domain=67, name="points",
+        )
+        assert docs.resident and seqs.resident and ann.resident
+        assert session.resident_bytes <= session.memory_budget
+
+        assert docs.search(["gpu index search"], k=3).results
+        assert seqs.search(["generic inverted indx"], k=1, n_candidates=2).payload[0].best is not None
+        assert ann.search(rng.standard_normal((2, 8)), k=3).payload
+
+    def test_refit_replaces_parts(self):
+        session = GenieSession()
+        handle = session.create_index([[1], [2]], model="raw", name="x")
+        first_bytes = handle.device_bytes
+        handle.fit([[1], [2], [3], [4], [5]])
+        assert handle.device_bytes > first_bytes
+        assert handle.resident
+        result = handle.search([Query.from_keywords([5])], k=1)
+        assert int(result[0].ids[0]) == 4

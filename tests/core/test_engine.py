@@ -10,7 +10,7 @@ from repro.core.engine import GenieConfig, GenieEngine, per_query_device_bytes
 from repro.core.load_balance import LoadBalanceConfig
 from repro.core.match_count import brute_force_topk
 from repro.core.types import Corpus, Query
-from repro.errors import GpuOutOfMemoryError, QueryError
+from repro.errors import ConfigError, GpuOutOfMemoryError, QueryError
 from repro.gpu.device import Device
 from repro.gpu.specs import small_device
 
@@ -182,3 +182,13 @@ class TestErrors:
         assert config.k == 5
         assert other.k == 9
         assert not other.use_cpq
+
+    def test_config_with_rejects_unknown_fields(self):
+        # Regression: typos must raise ConfigError naming the bad key, not
+        # fall through to dataclasses.replace's TypeError.
+        with pytest.raises(ConfigError, match="ks"):
+            GenieConfig().with_(ks=9)
+        with pytest.raises(ConfigError, match="bitz, kq"):
+            GenieConfig().with_(kq=1, bitz=2, k=3)
+        # Valid fields still work after the check.
+        assert GenieConfig().with_(k=3).k == 3

@@ -52,6 +52,40 @@ class TestDiscretizer:
         disc = Discretizer(8).fit(np.array([5.0, 5.0]))
         assert disc.transform(np.array([5.0])).tolist() == [0]
 
+    def test_degenerate_range_bins_stay_valid(self):
+        # Regression: lo == hi must not divide by the zero-width span, and
+        # every value (inside or outside the fitted point) must land in a
+        # valid bin.
+        disc = Discretizer(1024).fit(np.array([5.0, 5.0, 5.0]))
+        with np.errstate(all="raise"):  # any FP division-by-zero would raise
+            codes = disc.transform(np.array([-1e9, 4.999, 5.0, 5.001, 1e9]))
+        assert codes.dtype == np.int64
+        assert ((codes >= 0) & (codes < 1024)).all()
+        assert codes.tolist() == [0, 0, 0, 0, 0]
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ConfigError, match="empty"):
+            Discretizer(4).fit(np.array([]))
+
+    def test_non_finite_fit_rejected(self):
+        with pytest.raises(ConfigError, match="non-finite"):
+            Discretizer(4).fit(np.array([1.0, np.nan]))
+        with pytest.raises(ConfigError, match="non-finite"):
+            Discretizer(4).fit(np.array([1.0, np.inf]))
+
+    def test_constant_numeric_column_end_to_end(self):
+        # A constant column must index and answer range queries instead of
+        # producing out-of-range keywords.
+        index = RelationalIndex(
+            [AttributeSpec("x", "numeric", bins=1024), AttributeSpec("j", "categorical")]
+        )
+        index.fit({"x": np.full(6, 42.0), "j": np.arange(6) % 2})
+        result = index.query([{"x": (42.0, 42.0), "j": (0, 0)}], k=6)[0]
+        assert len(result) == 6
+        # Even rows match both attributes, odd rows only the constant one.
+        for row_id, count in result.as_pairs():
+            assert count == (2 if row_id % 2 == 0 else 1)
+
 
 class TestRelationalIndex:
     def test_numeric_discretization_roundtrip(self):
