@@ -79,7 +79,7 @@ def main():
 
     # Tighten the budget below the working set: the same traffic now swaps.
     session.memory_budget = max(session.index(name).device_bytes for name in session.indexes)
-    session.close()
+    session.evict_all()
     print(f"\nBudget tightened to {session.memory_budget >> 10} KB — residency must rotate:")
     traffic(session)
 

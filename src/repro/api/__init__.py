@@ -76,6 +76,7 @@ from repro.api.session import (
     GenieSession,
     IndexHandle,
     ResidencyEvent,
+    ResidencyLog,
     SearchResult,
 )
 
@@ -84,6 +85,7 @@ __all__ = [
     "IndexHandle",
     "SearchResult",
     "ResidencyEvent",
+    "ResidencyLog",
     "MatchModel",
     "BaseMatchModel",
     "RawModel",

@@ -82,11 +82,17 @@ class BaseMatchModel:
             instead of sending them to the engine (sequence semantics);
             the model's ``finalize`` sees an empty result in their place.
         finalize: ``None`` means no verify/rerank stage.
+        finalize_uses_raw: ``True`` when ``finalize`` reads the *raw*
+            queries (not just their encodings). Encoding is not always
+            injective (e.g. unseen n-grams are dropped), so result caches
+            must then key on the raw query too — the serve layer's
+            exact-match cache checks this flag.
     """
 
     name = "base"
     skip_empty = False
     finalize: Callable | None = None
+    finalize_uses_raw = False
 
     def adapt_config(self, config: GenieConfig) -> GenieConfig:
         """Engine configuration this model needs; identity by default."""
@@ -348,9 +354,14 @@ class SequenceModel(NgramModel):
     it with exact edit distance (cost charged to the host's ``verify``
     stage) and certifies the answer per Theorem 5.2. The per-query payload
     is a :class:`~repro.sa.sequence.SequenceSearchResult`.
+
+    ``finalize_uses_raw``: edit distances are computed against the raw
+    query string, and two different strings can share an n-gram encoding
+    (unseen grams are dropped) — result caches must not conflate them.
     """
 
     name = "sequence"
+    finalize_uses_raw = True
 
     def shortlist_k(self, k: int, n_candidates: int = PAPER_K_CANDIDATES) -> int:
         if k < 1 or n_candidates < k:

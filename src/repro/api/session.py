@@ -27,8 +27,9 @@ events (evictions / swap-ins) the search caused.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
@@ -58,6 +59,54 @@ class ResidencyEvent:
     index: str
     part: int
     nbytes: int
+
+
+class ResidencyLog:
+    """Bounded record of residency events with a lifetime counter.
+
+    Only the most recent ``limit`` events are retained (sustained serving
+    traffic would otherwise grow the log without bound); ``total_events``
+    counts every event ever appended. Iteration and indexing cover the
+    retained window, oldest first.
+    """
+
+    def __init__(self, limit: int = 1024):
+        if int(limit) < 1:
+            raise ConfigError("residency log limit must be >= 1")
+        self.limit = int(limit)
+        self.total_events = 0
+        self._events: deque[ResidencyEvent] = deque(maxlen=self.limit)
+
+    def append(self, event: ResidencyEvent) -> None:
+        """Record one event, dropping the oldest beyond the limit."""
+        self._events.append(event)
+        self.total_events += 1
+
+    def mark(self) -> int:
+        """Current position in the lifetime stream (for :meth:`since`)."""
+        return self.total_events
+
+    def since(self, mark: int) -> list[ResidencyEvent]:
+        """Events appended after ``mark`` that are still retained."""
+        first_retained = self.total_events - len(self._events)
+        skip = max(0, mark - first_retained)
+        if skip == 0:
+            return list(self._events)
+        return list(self._events)[skip:]
+
+    @property
+    def dropped(self) -> int:
+        """Events no longer retained because of the limit."""
+        return self.total_events - len(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def __getitem__(self, i):
+        return list(self._events)[i]
 
 
 @dataclass
@@ -136,6 +185,9 @@ class GenieSession:
             concurrently; defaults to the device's full global memory.
             Queries need headroom next to the indexes, so multi-tenant
             sessions should budget below capacity.
+        residency_log_limit: Number of recent residency events retained in
+            :attr:`residency_log` (its ``total_events`` counter keeps the
+            lifetime count regardless).
     """
 
     def __init__(
@@ -144,6 +196,7 @@ class GenieSession:
         host: HostCpu | None = None,
         config: GenieConfig | None = None,
         memory_budget: int | None = None,
+        residency_log_limit: int = 1024,
     ):
         self.device = device if device is not None else Device()
         self.host = host if host is not None else HostCpu()
@@ -153,10 +206,15 @@ class GenieSession:
         if int(memory_budget) <= 0:
             raise ConfigError("memory_budget must be positive")
         self.memory_budget = int(memory_budget)
-        self.residency_log: list[ResidencyEvent] = []
+        self.residency_log = ResidencyLog(limit=residency_log_limit)
         self._handles: dict[str, IndexHandle] = {}
         self._resident: dict[int, _IndexPart] = {}  # insertion order == LRU order
         self._auto_names = 0
+        self._closed = False
+        self._invalidation_hooks: list[Callable[[str], None]] = []
+        # Searches register a sink here to observe their own residency
+        # events exactly, independent of the bounded log's retention.
+        self._event_sinks: list[list[ResidencyEvent]] = []
 
     # ------------------------------------------------------------------
     # index lifecycle
@@ -212,6 +270,7 @@ class GenieSession:
         Exists so wrappers can expose a configured engine before data
         arrives; most callers want :meth:`create_index`.
         """
+        self._check_open()
         model = resolve_model(model, **model_kwargs)
         if name is None:
             name = f"{getattr(model, 'name', 'index')}-{self._auto_names}"
@@ -249,11 +308,58 @@ class GenieSession:
         handle = self.index(name)
         handle.evict()
         del self._handles[name]
+        self._notify_invalidated(name)
 
-    def close(self) -> None:
-        """Evict every resident part (handles stay registered)."""
+    def evict_all(self) -> None:
+        """Evict every resident part (handles stay registered and usable)."""
         for handle in self._handles.values():
             handle.evict()
+
+    def close(self) -> None:
+        """Shut the session down: evict everything and refuse further work.
+
+        Idempotent. Handles stay registered for inspection, but subsequent
+        :meth:`create_index` / :meth:`IndexHandle.search` /
+        :meth:`IndexHandle.fit` calls raise :class:`ConfigError` — serving
+        layers rely on this as the definitive end of a session's lifetime.
+        Use :meth:`evict_all` to free device memory while staying open.
+        """
+        if self._closed:
+            return
+        self.evict_all()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConfigError("session is closed")
+
+    def __enter__(self) -> "GenieSession":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # invalidation hooks (serving-layer caches subscribe here)
+
+    def add_invalidation_hook(self, hook: Callable[[str], None]) -> None:
+        """Call ``hook(index_name)`` whenever an index's results go stale.
+
+        Fired by :meth:`drop` and by :meth:`IndexHandle.fit` (a refit
+        changes what every query would return). The serve layer's
+        query-result cache subscribes to drop exactly the stale entries.
+        """
+        self._invalidation_hooks.append(hook)
+
+    def _notify_invalidated(self, name: str) -> None:
+        for hook in self._invalidation_hooks:
+            hook(name)
 
     # ------------------------------------------------------------------
     # residency
@@ -300,10 +406,15 @@ class GenieSession:
                     raise
                 self._evict_lru()
         self._resident[key] = part
-        self.residency_log.append(
+        self._record_event(
             ResidencyEvent("attach", part.handle.name, part.position, part.device_bytes)
         )
         return True
+
+    def _record_event(self, event: ResidencyEvent) -> None:
+        self.residency_log.append(event)
+        for sink in self._event_sinks:
+            sink.append(event)
 
     def _evict_lru(self) -> None:
         part = next(iter(self._resident.values()))
@@ -313,7 +424,7 @@ class GenieSession:
         self._resident.pop(id(part), None)
         if part.engine.index_resident:
             part.engine.release()
-        self.residency_log.append(
+        self._record_event(
             ResidencyEvent("evict", part.handle.name, part.position, part.device_bytes)
         )
 
@@ -346,6 +457,7 @@ class IndexHandle:
         self.part_size = part_size
         self.swap_parts = bool(swap_parts)
         self.last_result: SearchResult | None = None
+        self.fit_epoch = 0
         self._parts: list[_IndexPart] = []
         # The primary engine exists before fit so configuration is
         # inspectable (and legacy wrappers can expose `.engine`).
@@ -397,6 +509,9 @@ class IndexHandle:
         partitioned indexes defer residency to search time, matching the
         multi-loading protocol where only builds happen offline.
         """
+        self.session._check_open()
+        self.fit_epoch += 1
+        self.session._notify_invalidated(self.name)
         corpus = self.model.encode_corpus(data)
         if not isinstance(corpus, Corpus):
             corpus = Corpus(corpus)
@@ -455,15 +570,52 @@ class IndexHandle:
         Raises:
             QueryError: Unfitted index, malformed queries, or bad ``k``.
         """
+        self.session._check_open()
         if not self._parts:
             raise QueryError("index must be fitted before searching")
         raw_queries = list(raw_queries)
         if not raw_queries:
             raise QueryError("empty query batch")
+        queries = self.encode_queries(raw_queries)
+        return self.search_encoded(
+            raw_queries, queries, k=k, batch_size=batch_size, **search_opts
+        )
+
+    def encode_queries(self, raw_queries) -> list[Query]:
+        """Encode and validate raw queries without searching.
+
+        The encode-once hook for serving layers: a server encodes each
+        request at admission (to build exact-match cache keys and fail fast
+        on malformed queries) and later passes the encoded queries to
+        :meth:`search_encoded` so the coalesced batch pays no second encode.
+        """
+        raw_queries = list(raw_queries)
         queries = self.model.encode_queries(raw_queries)
         validate = getattr(self.model, "validate_queries", None)
         if validate is not None:
             validate(raw_queries, queries)
+        return queries
+
+    def search_encoded(
+        self,
+        raw_queries,
+        queries: list[Query],
+        k: int | None = None,
+        batch_size: int | None = None,
+        **search_opts,
+    ) -> SearchResult:
+        """Retrieve/merge/verify pre-encoded queries (see :meth:`search`).
+
+        ``raw_queries`` must align with ``queries`` (models' ``finalize``
+        hooks verify against the raw form, e.g. sequence edit distance).
+        """
+        self.session._check_open()
+        if not self._parts:
+            raise QueryError("index must be fitted before searching")
+        if len(raw_queries) != len(queries):
+            raise QueryError("raw_queries and queries must align")
+        if not queries:
+            raise QueryError("empty query batch")
         k = int(k if k is not None else self.config.k)
         if k < 1:
             raise QueryError("k must be >= 1")
@@ -478,12 +630,18 @@ class IndexHandle:
             active = list(range(len(queries)))
         active_queries = [queries[i] for i in active]
 
-        log_mark = len(self.session.residency_log)
+        # A private sink observes this search's residency events exactly;
+        # the session-level log is bounded and may drop older entries.
+        events: list[ResidencyEvent] = []
+        self.session._event_sinks.append(events)
         profile = StageTimings()
-        if active_queries:
-            merged = self._run_parts(active_queries, retrieval_k, batch_size, profile)
-        else:
-            merged = []
+        try:
+            if active_queries:
+                merged = self._run_parts(active_queries, retrieval_k, batch_size, profile)
+            else:
+                merged = []
+        finally:
+            self.session._event_sinks.remove(events)
         results = self._scatter(merged, active, len(queries))
 
         payload = None
@@ -495,7 +653,6 @@ class IndexHandle:
             )
             profile.merge(timings_delta(host_before, self.session.host.timings))
 
-        events = self.session.residency_log[log_mark:]
         result = SearchResult(
             results=results,
             profile=profile,

@@ -41,3 +41,20 @@ class QueryError(ReproError):
 
 class ConfigError(ReproError):
     """Raised when an engine or structure is configured inconsistently."""
+
+
+class AdmissionError(ReproError):
+    """Raised when a serving queue refuses a request (explicit backpressure).
+
+    The online server never drops requests silently: when the bounded
+    request queue is full, submission fails with this error so the caller
+    can retry, shed load, or slow down.
+    """
+
+    def __init__(self, depth, limit):
+        self.depth = int(depth)
+        self.limit = int(limit)
+        super().__init__(
+            f"request queue is full ({self.depth}/{self.limit} pending); "
+            f"retry later or raise max_queue_depth"
+        )

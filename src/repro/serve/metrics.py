@@ -1,0 +1,144 @@
+"""Serving metrics: throughput, latency percentiles, batch histograms.
+
+All times are *simulated seconds* from the server's virtual clock, so a
+seeded workload produces bit-identical numbers on every run — latency
+percentiles are CI-assertable, not flaky. Percentiles use the
+nearest-rank method (no interpolation): ``p50`` of a recorded population
+is always one of the recorded latencies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Percentiles reported by :meth:`ServeMetrics.snapshot`.
+REPORTED_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def percentile_nearest_rank(values, p: float) -> float:
+    """Nearest-rank percentile ``p`` (0 < p <= 100) of ``values``.
+
+    Returns ``0.0`` for an empty population (a server that has completed
+    nothing has no latency yet).
+    """
+    if len(values) == 0:
+        return 0.0
+    ordered = np.sort(np.asarray(values, dtype=np.float64))
+    rank = int(np.ceil(p / 100.0 * ordered.size))
+    return float(ordered[max(rank, 1) - 1])
+
+
+class ServeMetrics:
+    """Counters and distributions accumulated by a :class:`GenieServer`.
+
+    Attributes:
+        submitted: Requests admitted (queued or served from cache).
+        completed: Requests answered, including cache hits.
+        rejected: Requests refused by admission control.
+        failed: Requests whose batch raised (the error is on the future).
+        cache_hits / cache_misses: Admission-time cache outcomes.
+        batches: Coalesced search calls dispatched.
+        batch_sizes: Histogram ``{batch_size: count}``.
+        swap_ins / evictions: Residency events caused by dispatched batches.
+        busy_seconds: Simulated device-service time consumed by batches.
+    """
+
+    def __init__(self):
+        self.submitted = 0
+        self.completed = 0
+        self.rejected = 0
+        self.failed = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.batches = 0
+        self.batch_sizes: dict[int, int] = {}
+        self.swap_ins = 0
+        self.evictions = 0
+        self.busy_seconds = 0.0
+        self.first_arrival: float | None = None
+        self.last_completion: float | None = None
+        self._latencies: list[float] = []
+        self._queue_times: list[float] = []
+
+    # ------------------------------------------------------------------
+    # recording
+
+    def record_arrival(self, now: float) -> None:
+        """Note an admitted request at simulated time ``now``."""
+        self.submitted += 1
+        if self.first_arrival is None:
+            self.first_arrival = now
+
+    def record_completion(self, latency: float, queue_time: float, completed_at: float) -> None:
+        """Note one answered request with its latency components."""
+        self.completed += 1
+        self._latencies.append(float(latency))
+        self._queue_times.append(float(queue_time))
+        if self.last_completion is None or completed_at > self.last_completion:
+            self.last_completion = completed_at
+
+    def record_batch(self, size: int, service_seconds: float, swap_ins: int, evictions: int) -> None:
+        """Note one dispatched batch and its residency side effects."""
+        self.batches += 1
+        self.batch_sizes[size] = self.batch_sizes.get(size, 0) + 1
+        self.busy_seconds += float(service_seconds)
+        self.swap_ins += int(swap_ins)
+        self.evictions += int(evictions)
+
+    # ------------------------------------------------------------------
+    # derived views
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Simulated seconds from first admitted arrival to last completion."""
+        if self.first_arrival is None or self.last_completion is None:
+            return 0.0
+        return self.last_completion - self.first_arrival
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per simulated second over the elapsed window."""
+        elapsed = self.elapsed_seconds
+        return self.completed / elapsed if elapsed > 0 else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average requests per dispatched batch."""
+        total = sum(size * count for size, count in self.batch_sizes.items())
+        return total / self.batches if self.batches else 0.0
+
+    def latency(self, p: float) -> float:
+        """Nearest-rank latency percentile over completed requests."""
+        return percentile_nearest_rank(self._latencies, p)
+
+    def queue_time(self, p: float) -> float:
+        """Nearest-rank queue-time percentile over completed requests."""
+        return percentile_nearest_rank(self._queue_times, p)
+
+    def snapshot(self) -> dict:
+        """The whole metrics surface as one flat dict.
+
+        Keys are stable and values deterministic for a seeded workload;
+        tests compare snapshots of repeated runs for equality.
+        """
+        snap = {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "failed": self.failed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "batches": self.batches,
+            "mean_batch_size": self.mean_batch_size,
+            "batch_size_histogram": dict(sorted(self.batch_sizes.items())),
+            "swap_ins": self.swap_ins,
+            "evictions": self.evictions,
+            "busy_seconds": self.busy_seconds,
+            "elapsed_seconds": self.elapsed_seconds,
+            "throughput_qps": self.throughput,
+        }
+        for p in REPORTED_PERCENTILES:
+            snap[f"latency_p{p:g}"] = self.latency(p)
+        for p in REPORTED_PERCENTILES:
+            snap[f"queue_time_p{p:g}"] = self.queue_time(p)
+        return snap

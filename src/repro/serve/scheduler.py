@@ -1,0 +1,215 @@
+"""Dynamic micro-batching: drain request queues into coalesced batches.
+
+GENIE's match kernel amortizes beautifully over large query batches
+(Fig. 9 / Fig. 11; PR 1's vectorized pipeline) — but an online request
+stream arrives one query at a time. The scheduler is the layer that turns
+the stream back into batches:
+
+* ``fifo`` — the baseline: every request is its own batch, served in
+  global arrival order. One kernel launch per request; the per-launch
+  overhead the paper's batching amortizes is paid in full.
+* ``micro`` — dynamic micro-batching: per-index queues drain into
+  coalesced :meth:`~repro.api.session.IndexHandle.search` calls when a
+  queue reaches ``max_batch`` requests or its oldest request has waited
+  ``max_wait`` simulated seconds, whichever is first. Draining is fair
+  round-robin across indexes, so one hot index cannot starve a session's
+  other residents.
+
+Requests in one index's queue only coalesce when they share a *lane* —
+the ``(k, options)`` signature a single ``search()`` call can serve. The
+drain takes the head request's lane and gathers up to ``max_batch``
+compatible requests from the queue, preserving arrival order within the
+lane and leaving other lanes queued.
+
+The scheduler never looks at a wall clock: readiness is evaluated against
+the caller-supplied virtual ``now`` (see :mod:`repro.serve.clock`), which
+keeps every batching decision deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Policy kinds understood by the scheduler.
+POLICY_KINDS = ("fifo", "micro")
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """How queued requests become batches.
+
+    Attributes:
+        kind: ``"fifo"`` (single-request batches, global arrival order) or
+            ``"micro"`` (dynamic micro-batching).
+        max_batch: Largest coalesced batch (``micro`` only).
+        max_wait: Longest simulated time a request may sit queued before
+            its batch is dispatched anyway (``micro`` only).
+    """
+
+    kind: str = "micro"
+    max_batch: int = 32
+    max_wait: float = 1e-3
+
+    def __post_init__(self):
+        if self.kind not in POLICY_KINDS:
+            raise ConfigError(f"unknown policy kind {self.kind!r}; expected {POLICY_KINDS}")
+        if int(self.max_batch) < 1:
+            raise ConfigError("max_batch must be >= 1")
+        if float(self.max_wait) < 0:
+            raise ConfigError("max_wait must be >= 0")
+
+    @classmethod
+    def fifo(cls) -> "BatchPolicy":
+        """The single-request baseline policy."""
+        return cls(kind="fifo", max_batch=1, max_wait=0.0)
+
+    @classmethod
+    def micro(cls, max_batch: int = 32, max_wait: float = 1e-3) -> "BatchPolicy":
+        """Dynamic micro-batching under a size/wait envelope."""
+        return cls(kind="micro", max_batch=max_batch, max_wait=max_wait)
+
+
+class MicroBatchScheduler:
+    """Per-index request queues drained under a :class:`BatchPolicy`.
+
+    Queued items are duck-typed: the scheduler needs ``item.arrival``
+    (simulated submit time), ``item.seq`` (global admission order, the
+    deterministic tie-break) and ``item.lane`` (hashable coalescing
+    signature — requests only share a batch when lanes match).
+    """
+
+    def __init__(self, policy: BatchPolicy | None = None):
+        self.policy = policy if policy is not None else BatchPolicy()
+        self._queues: dict[str, deque] = {}
+        self._rotation: deque[str] = deque()
+
+    # ------------------------------------------------------------------
+    # queue state
+
+    @property
+    def depth(self) -> int:
+        """Total queued requests across all indexes."""
+        return sum(len(q) for q in self._queues.values())
+
+    def depths(self) -> dict[str, int]:
+        """Queued requests per index (nonempty queues only)."""
+        return {name: len(q) for name, q in self._queues.items() if q}
+
+    def enqueue(self, index: str, request) -> None:
+        """Queue one request for ``index``."""
+        queue = self._queues.get(index)
+        if queue is None:
+            queue = self._queues[index] = deque()
+        if index not in self._rotation:
+            self._rotation.append(index)
+        queue.append(request)
+
+    def next_deadline(self) -> float | None:
+        """Earliest time a queued request *must* be dispatched, or ``None``.
+
+        Under ``micro`` this is the oldest head's ``arrival + max_wait``;
+        under ``fifo`` a queued request is already due, so its arrival is
+        returned. Drivers advance the virtual clock to this time to fire
+        wait-triggered batches in order.
+        """
+        deadlines = []
+        for queue in self._queues.values():
+            if not queue:
+                continue
+            head = queue[0]
+            if self.policy.kind == "fifo":
+                deadlines.append(head.arrival)
+            else:
+                deadlines.append(head.arrival + self.policy.max_wait)
+        return min(deadlines) if deadlines else None
+
+    # ------------------------------------------------------------------
+    # draining
+
+    def pop_ready(self, now: float) -> list[tuple[str, list]]:
+        """Drain every batch that is ready at simulated time ``now``.
+
+        Returns ``(index, requests)`` pairs in dispatch order: strict
+        global arrival order for ``fifo``; fair round-robin across indexes
+        for ``micro`` (one batch per ready index per sweep, sweeping until
+        nothing is ready).
+        """
+        if self.policy.kind == "fifo":
+            return self._pop_fifo(drain=False)
+        return self._pop_micro(now, drain=False)
+
+    def pop_all(self, now: float = 0.0) -> list[tuple[str, list]]:
+        """Drain everything queued, ignoring readiness (graceful shutdown).
+
+        Batches still respect ``max_batch`` and lane compatibility; the
+        dispatch order matches :meth:`pop_ready`'s fairness rules.
+        """
+        if self.policy.kind == "fifo":
+            return self._pop_fifo(drain=True)
+        return self._pop_micro(now, drain=True)
+
+    def _pop_fifo(self, drain: bool) -> list[tuple[str, list]]:
+        # fifo requests are always due; ``drain`` changes nothing beyond
+        # making the symmetry with the micro path explicit.
+        del drain
+        batches: list[tuple[str, list]] = []
+        while True:
+            best_name = None
+            best_key = None
+            for name, queue in self._queues.items():
+                if not queue:
+                    continue
+                key = (queue[0].arrival, queue[0].seq)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_name = name
+            if best_name is None:
+                return batches
+            batches.append((best_name, [self._queues[best_name].popleft()]))
+
+    def _pop_micro(self, now: float, drain: bool) -> list[tuple[str, list]]:
+        batches: list[tuple[str, list]] = []
+        progressed = True
+        while progressed:
+            progressed = False
+            for _ in range(len(self._rotation)):
+                name = self._rotation[0]
+                self._rotation.rotate(-1)
+                queue = self._queues.get(name)
+                if not queue:
+                    continue
+                if drain or self._ready(queue, now):
+                    batches.append((name, self._gather(queue)))
+                    progressed = True
+        return batches
+
+    def _ready(self, queue: deque, now: float) -> bool:
+        # The wait test must be the same float expression next_deadline()
+        # reports (``arrival + max_wait``), or a driver advancing exactly
+        # to the deadline could find the queue not ready and spin.
+        return (
+            len(queue) >= self.policy.max_batch
+            or now >= queue[0].arrival + self.policy.max_wait
+        )
+
+    def _gather(self, queue: deque) -> list:
+        """Take the head's lane-compatible prefix, up to ``max_batch``.
+
+        Requests in other lanes keep their positions (and their arrival
+        order within each lane); they form later batches.
+        """
+        lane = queue[0].lane
+        batch = []
+        kept = []
+        while queue and len(batch) < self.policy.max_batch:
+            request = queue.popleft()
+            if request.lane == lane:
+                batch.append(request)
+            else:
+                kept.append(request)
+        for request in reversed(kept):
+            queue.appendleft(request)
+        return batch

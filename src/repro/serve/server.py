@@ -1,0 +1,432 @@
+"""`GenieServer`: the online front end over a `GenieSession`.
+
+The server is the layer between an online request stream and the batch
+kernel: requests are admitted one at a time (``submit``), encoded once at
+the door, answered from the exact-match cache when possible, and
+otherwise queued for the micro-batching scheduler, which drains them into
+coalesced :meth:`~repro.api.session.IndexHandle.search_encoded` calls.
+
+Three serving guarantees:
+
+* **Backpressure, never silent drops** — the queue is bounded
+  (``max_queue_depth``); an admission beyond it raises
+  :class:`~repro.errors.AdmissionError` and counts in the metrics.
+* **Deterministic time** — arrivals, batching deadlines and completions
+  live on an injectable :class:`~repro.serve.clock.VirtualClock`; the
+  device executes batches serially, so a request's completion is
+  ``max(dispatch, device_free) + service`` in simulated seconds. Repeated
+  seeded runs produce identical latency percentiles.
+* **Observable requests** — every future carries
+  :class:`RequestMetadata`: queue time, the batch size it rode in, the
+  batch's stage-profile slice, and whether the cache answered it.
+
+Execution is synchronous under the hood (the simulated device needs no
+threads): ``submit()`` dispatches any batch its arrival makes ready,
+``advance()``/``advance_to()`` move virtual time and fire ``max_wait``
+deadlines in order, and ``drain()``/``close()`` flush everything queued.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api.session import GenieSession
+from repro.errors import AdmissionError, ConfigError, QueryError, ReproError
+from repro.gpu.stats import StageTimings
+from repro.serve.cache import QueryResultCache, make_cache_key
+from repro.serve.clock import VirtualClock
+from repro.serve.metrics import ServeMetrics
+from repro.serve.scheduler import BatchPolicy, MicroBatchScheduler
+
+
+@dataclass
+class RequestMetadata:
+    """Per-request serving observability, in simulated seconds.
+
+    Attributes:
+        index: Index the request targeted.
+        k: Results requested.
+        seq: Global admission sequence number.
+        arrival: Submit time.
+        dispatched: When the scheduler drained the request from its queue
+            (equals ``arrival`` for cache hits).
+        started: When the device began serving its batch (dispatch may
+            wait behind an earlier batch on the serial device).
+        completed: When its batch finished (== ``arrival`` for cache hits).
+        batch_size: Requests in the coalesced batch it rode in (0 for a
+            cache hit — no device trip happened).
+        cache_hit: Whether the exact-match cache answered it.
+        profile: The *batch's* per-stage profile (shared by all requests
+            of the batch); ``None`` for cache hits.
+    """
+
+    index: str
+    k: int
+    seq: int
+    arrival: float
+    dispatched: float | None = None
+    started: float | None = None
+    completed: float | None = None
+    batch_size: int = 0
+    cache_hit: bool = False
+    profile: StageTimings | None = None
+
+    @property
+    def queue_time(self) -> float | None:
+        """Seconds spent queued before dispatch."""
+        if self.dispatched is None:
+            return None
+        return self.dispatched - self.arrival
+
+    @property
+    def service_time(self) -> float | None:
+        """Seconds the device spent on the batch it rode in."""
+        if self.completed is None or self.started is None:
+            return None
+        return self.completed - self.started
+
+    @property
+    def latency(self) -> float | None:
+        """End-to-end seconds from submit to completion."""
+        if self.completed is None:
+            return None
+        return self.completed - self.arrival
+
+    def profile_share(self) -> StageTimings | None:
+        """This request's 1/batch_size slice of the batch profile."""
+        if self.profile is None or self.batch_size < 1:
+            return None
+        share = StageTimings()
+        for stage, seconds in self.profile.seconds.items():
+            share.add(stage, seconds / self.batch_size)
+        return share
+
+
+class RequestFuture:
+    """Handle to one submitted request; resolved when its batch runs.
+
+    Attributes:
+        metadata: The request's :class:`RequestMetadata` (timestamps fill
+            in as the request progresses).
+        payload: The model-specific per-query payload slice (e.g. the
+            verified :class:`~repro.sa.sequence.SequenceSearchResult`),
+            ``None`` until done or for payload-less models.
+    """
+
+    def __init__(self, metadata: RequestMetadata):
+        self.metadata = metadata
+        self.payload = None
+        self._result = None
+        self._error: BaseException | None = None
+        self._done = False
+
+    def done(self) -> bool:
+        """Whether the request has been answered (or failed)."""
+        return self._done
+
+    def result(self):
+        """The request's :class:`~repro.core.types.TopKResult`.
+
+        Raises:
+            QueryError: If the request is still queued (advance or drain
+                the server first).
+            ReproError: Whatever error failed the request's batch.
+        """
+        if not self._done:
+            raise QueryError(
+                "request is not completed yet; advance(), drain() or close() the server"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def _resolve(self, result, payload) -> None:
+        self._result = result
+        self.payload = payload
+        self._done = True
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._done = True
+
+
+class _ServeRequest:
+    """Internal queued request: what the scheduler and dispatcher see."""
+
+    __slots__ = ("seq", "index", "raw", "query", "lane", "arrival", "future", "cache_key")
+
+    def __init__(self, seq, index, raw, query, lane, arrival, future, cache_key):
+        self.seq = seq
+        self.index = index
+        self.raw = raw
+        self.query = query
+        self.lane = lane  # (k, opts_key): only lane-mates may share a batch
+        self.arrival = arrival
+        self.future = future
+        self.cache_key = cache_key
+
+
+class GenieServer:
+    """Online serving front end over a :class:`GenieSession`.
+
+    Args:
+        session: The session whose indexes are served.
+        policy: Batching policy (:meth:`BatchPolicy.micro` default;
+            :meth:`BatchPolicy.fifo` is the single-request baseline).
+        clock: Virtual clock; a fresh one starting at 0 when omitted.
+        max_queue_depth: Bound on queued (not yet dispatched) requests;
+            admission beyond it raises :class:`AdmissionError`.
+        cache_size: Entries in the exact-match result cache; ``0`` or
+            ``None`` disables caching.
+    """
+
+    def __init__(
+        self,
+        session: GenieSession,
+        policy: BatchPolicy | None = None,
+        clock: VirtualClock | None = None,
+        max_queue_depth: int = 256,
+        cache_size: int | None = 1024,
+    ):
+        if int(max_queue_depth) < 1:
+            raise ConfigError("max_queue_depth must be >= 1")
+        self.session = session
+        self.clock = clock if clock is not None else VirtualClock()
+        self.scheduler = MicroBatchScheduler(policy)
+        self.max_queue_depth = int(max_queue_depth)
+        self.cache = QueryResultCache(cache_size) if cache_size else None
+        if self.cache is not None:
+            session.add_invalidation_hook(self.cache.invalidate)
+        self.metrics = ServeMetrics()
+        self._seq = 0
+        self._device_free = 0.0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # admission
+
+    def submit(self, index: str, raw_query, k: int | None = None, **opts) -> RequestFuture:
+        """Admit one request; returns a future resolved when its batch runs.
+
+        The query is encoded immediately (malformed queries fail *here*,
+        not inside someone else's batch). A cache hit is answered at once —
+        even when the queue is full, a hit needs no queue slot. A miss
+        must find room in the bounded queue or admission fails.
+
+        Raises:
+            ConfigError: Closed server or session, or unknown index.
+            QueryError: Malformed query, bad ``k``, bad options.
+            AdmissionError: Queue full (explicit backpressure).
+        """
+        self._check_open()
+        self.session._check_open()
+        handle = self.session.index(index)
+        k = int(k if k is not None else handle.config.k)
+        if k < 1:
+            raise QueryError("k must be >= 1")
+        opts_key = tuple(sorted(opts.items()))
+        shortlist = getattr(handle.model, "shortlist_k", None)
+        if shortlist is not None:
+            shortlist(k, **opts)  # validates the options eagerly
+        elif opts:
+            raise QueryError(f"unsupported search options: {sorted(opts)}")
+        query = handle.encode_queries([raw_query])[0]
+
+        now = self.clock.now()
+        cache_key = None
+        if self.cache is not None:
+            cache_key = self._cache_key(handle, index, raw_query, query, k, opts_key)
+        if cache_key is not None:
+            cached = self.cache.get(cache_key)
+            if cached is not None:
+                self.metrics.cache_hits += 1
+                return self._answer_from_cache(index, k, cached, now)
+            self.metrics.cache_misses += 1
+
+        if self.scheduler.depth + 1 > self.max_queue_depth:
+            self.metrics.rejected += 1
+            raise AdmissionError(self.scheduler.depth, self.max_queue_depth)
+
+        future = RequestFuture(RequestMetadata(index=index, k=k, seq=self._seq, arrival=now))
+        request = _ServeRequest(
+            self._seq, index, raw_query, query, (k, opts_key), now, future, cache_key
+        )
+        self._seq += 1
+        self.metrics.record_arrival(now)
+        self.scheduler.enqueue(index, request)
+        self.pump()
+        return future
+
+    def submit_many(self, index: str, raw_queries, k: int | None = None, **opts) -> list[RequestFuture]:
+        """Admit a burst of requests for one index, all-or-nothing.
+
+        Admission is checked for the whole burst up front (assuming every
+        request misses the cache), so a burst either fits or raises
+        :class:`AdmissionError` without enqueuing a partial prefix.
+        """
+        self._check_open()
+        raw_queries = list(raw_queries)
+        if self.scheduler.depth + len(raw_queries) > self.max_queue_depth:
+            self.metrics.rejected += len(raw_queries)
+            raise AdmissionError(self.scheduler.depth, self.max_queue_depth)
+        return [self.submit(index, raw, k=k, **opts) for raw in raw_queries]
+
+    @staticmethod
+    def _cache_key(handle, index, raw_query, query, k, opts_key):
+        """The request's cache key, or ``None`` when caching is unsafe.
+
+        Models whose ``finalize`` reads the raw query (sequence search)
+        get the raw query added to the key — their encoding is not
+        injective, so the encoded items alone could conflate two raw
+        queries with different verified payloads. An unhashable raw query
+        then disables caching for the request instead of guessing.
+        """
+        raw_part = None
+        if getattr(handle.model, "finalize_uses_raw", False):
+            try:
+                hash(raw_query)
+            except TypeError:
+                return None
+            raw_part = raw_query
+        return make_cache_key(index, query, k, opts_key, raw=raw_part)
+
+    def _answer_from_cache(self, index: str, k: int, cached, now: float) -> RequestFuture:
+        result, payload = cached
+        metadata = RequestMetadata(
+            index=index, k=k, seq=self._seq, arrival=now,
+            dispatched=now, started=now, completed=now,
+            batch_size=0, cache_hit=True,
+        )
+        self._seq += 1
+        future = RequestFuture(metadata)
+        future._resolve(result, payload)
+        self.metrics.record_arrival(now)
+        self.metrics.record_completion(0.0, 0.0, now)
+        return future
+
+    # ------------------------------------------------------------------
+    # time and dispatch
+
+    def pump(self) -> int:
+        """Dispatch every batch that is ready now; returns batches run."""
+        batches = self.scheduler.pop_ready(self.clock.now())
+        for index, requests in batches:
+            self._dispatch(index, requests)
+        return len(batches)
+
+    def next_deadline(self) -> float | None:
+        """Earliest queued ``max_wait`` deadline (drivers advance to it)."""
+        return self.scheduler.next_deadline()
+
+    def advance(self, seconds: float) -> None:
+        """Advance virtual time by ``seconds``, firing deadlines in order."""
+        self.advance_to(self.clock.now() + float(seconds))
+
+    def advance_to(self, t: float) -> None:
+        """Advance virtual time to ``t``, firing deadlines in order.
+
+        Deadlines within ``(now, t]`` dispatch *at their deadline time*,
+        not at ``t`` — queue-time metrics stay exact.
+        """
+        while True:
+            deadline = self.scheduler.next_deadline()
+            if deadline is None or deadline > t:
+                break
+            self.clock.advance_to(deadline)
+            self.pump()
+        self.clock.advance_to(t)
+        self.pump()
+
+    def drain(self) -> None:
+        """Serve everything queued now, ignoring batching deadlines."""
+        while self.scheduler.depth:
+            for index, requests in self.scheduler.pop_all(self.clock.now()):
+                self._dispatch(index, requests)
+
+    def close(self) -> None:
+        """Graceful shutdown: drain queued requests, refuse new ones.
+
+        Idempotent; the underlying session stays open (it belongs to the
+        caller). Subsequent :meth:`submit` calls raise
+        :class:`ConfigError`.
+        """
+        if self._closed:
+            return
+        self.drain()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    @property
+    def depth(self) -> int:
+        """Requests currently queued (admitted, not yet dispatched)."""
+        return self.scheduler.depth
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConfigError("server is closed")
+
+    def __enter__(self) -> "GenieServer":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # execution
+
+    def _dispatch(self, index: str, requests: list[_ServeRequest]) -> None:
+        now = self.clock.now()
+        k, opts_key = requests[0].lane
+        raw = [r.raw for r in requests]
+        queries = [r.query for r in requests]
+        start = max(now, self._device_free)
+        try:
+            # The lookup is inside the guard: the index may have been
+            # dropped while these requests were queued, and that must fail
+            # the futures, not escape drain()/close().
+            handle = self.session.index(index)
+            result = handle.search_encoded(raw, queries, k=k, **dict(opts_key))
+        except ReproError as error:
+            self.metrics.failed += len(requests)
+            for request in requests:
+                request.future.metadata.dispatched = now
+                request.future._fail(error)
+            return
+        service = result.profile.query_total()
+        completed = start + service
+        self._device_free = completed
+        self.metrics.record_batch(
+            len(requests), service, result.swapped_in, len(result.evicted)
+        )
+        payload_list = result.payload if isinstance(result.payload, list) else None
+        for i, request in enumerate(requests):
+            payload_i = payload_list[i] if payload_list is not None else None
+            metadata = request.future.metadata
+            metadata.dispatched = now
+            metadata.started = start
+            metadata.completed = completed
+            metadata.batch_size = len(requests)
+            metadata.profile = result.profile
+            request.future._resolve(result.results[i], payload_i)
+            self.metrics.record_completion(completed - request.arrival, now - request.arrival, completed)
+            if self.cache is not None and request.cache_key is not None:
+                self.cache.put(request.cache_key, (result.results[i], payload_i))
+
+    # ------------------------------------------------------------------
+    # observability
+
+    def snapshot(self) -> dict:
+        """Metrics + queue/cache/device state as one deterministic dict."""
+        snap = self.metrics.snapshot()
+        snap["queue_depth"] = self.scheduler.depth
+        snap["queue_depths"] = self.scheduler.depths()
+        snap["policy"] = self.scheduler.policy.kind
+        snap["device_busy_until"] = self._device_free
+        snap["closed"] = self._closed
+        snap["cache"] = self.cache.stats() if self.cache is not None else None
+        return snap

@@ -1,0 +1,23 @@
+"""Docs stay in sync with the code: README's model table vs the registry."""
+
+from pathlib import Path
+
+from repro.api import available_models
+
+README = Path(__file__).resolve().parents[2] / "README.md"
+
+
+def test_readme_lists_every_registered_model():
+    text = README.read_text()
+    for key in available_models():
+        assert f"| `{key}` |" in text, (
+            f"README model table is missing registered model {key!r}; "
+            "regenerate the table in the 'Unified API' section"
+        )
+
+
+def test_readme_documents_the_serve_layer():
+    text = README.read_text()
+    assert "## Serving" in text
+    for name in ("GenieServer", "BatchPolicy", "max_queue_depth", "serve_throughput.txt"):
+        assert name in text

@@ -83,6 +83,110 @@ class TestSessionBasics:
         assert session.resident_bytes == 0
         assert session.indexes == ("x", "y")
 
+    def test_evict_all_keeps_session_usable(self):
+        session = GenieSession()
+        handle = session.create_index(_docs(), model="document", name="x")
+        session.evict_all()
+        assert session.resident_bytes == 0 and not session.closed
+        result = handle.search(["gpu index"], k=2)  # swaps back in
+        assert result.swapped_in == 1
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_flagged(self):
+        session = GenieSession()
+        assert not session.closed
+        session.close()
+        session.close()
+        assert session.closed
+
+    def test_search_after_close_raises(self):
+        session = GenieSession()
+        handle = session.create_index(_docs(), model="document", name="x")
+        session.close()
+        with pytest.raises(ConfigError, match="session is closed"):
+            handle.search(["gpu index"], k=2)
+
+    def test_create_index_after_close_raises(self):
+        session = GenieSession()
+        session.close()
+        with pytest.raises(ConfigError, match="session is closed"):
+            session.create_index(_docs(), model="document")
+
+    def test_fit_after_close_raises(self):
+        session = GenieSession()
+        handle = session.create_index(_docs(), model="document", name="x")
+        session.close()
+        with pytest.raises(ConfigError, match="session is closed"):
+            handle.fit(_docs())
+
+    def test_context_manager_closes_on_exit(self):
+        with GenieSession() as session:
+            handle = session.create_index(_docs(), model="document", name="x")
+            assert handle.resident
+        assert session.closed
+        assert session.resident_bytes == 0
+
+    def test_entering_closed_session_raises(self):
+        session = GenieSession()
+        session.close()
+        with pytest.raises(ConfigError, match="session is closed"):
+            with session:
+                pass
+
+
+class TestResidencyLogBound:
+    def test_log_is_bounded_with_total_counter(self):
+        corpus = [[i % 11] for i in range(600)]
+        session = GenieSession(residency_log_limit=4)
+        whole = session.create_index(corpus, model="raw", name="whole")
+        session.memory_budget = max(whole.device_bytes // 2, 16)
+        parted = session.create_index(corpus, model="raw", name="parted", part_size=150)
+        query = Query.from_keywords([0, 3])
+        for _ in range(3):
+            parted.search([query], k=5)  # each pass swaps 4 parts through
+        log = session.residency_log
+        assert len(log) <= 4
+        assert log.total_events > len(log)
+        assert log.dropped == log.total_events - len(log)
+        assert all(e.kind in ("attach", "evict") for e in log)
+
+    def test_search_result_events_exact_despite_tight_limit(self):
+        # SearchResult.swapped_in/evicted must count every event a search
+        # caused, even when the bounded session log retains fewer.
+        corpus = [[i % 11] for i in range(600)]
+        session = GenieSession(residency_log_limit=2)
+        whole = session.create_index(corpus, model="raw", name="whole")
+        session.memory_budget = max(whole.device_bytes // 2, 16)
+        parted = session.create_index(corpus, model="raw", name="parted", part_size=150)
+        result = parted.search([Query.from_keywords([0, 3])], k=5)
+        assert result.swapped_in == 4  # all four parts transferred
+        assert len(result.evicted) >= 2  # the budget forced swap-outs
+        # More events were reported than the bounded log retains.
+        assert result.swapped_in + len(result.evicted) > len(session.residency_log)
+        assert len(session.residency_log) <= 2
+
+    def test_since_survives_dropped_events(self):
+        session = GenieSession(residency_log_limit=2)
+        mark = session.residency_log.mark()
+        session.create_index([[1]], model="raw", name="a")
+        session.create_index([[2]], model="raw", name="b")
+        session.create_index([[3]], model="raw", name="c")
+        recent = session.residency_log.since(mark)
+        # Only the retained tail is reported; never duplicates, never errors.
+        assert [e.index for e in recent] == ["b", "c"]
+
+    def test_bad_limit_rejected(self):
+        with pytest.raises(ConfigError, match="limit"):
+            GenieSession(residency_log_limit=0)
+
+    def test_search_events_unaffected_within_limit(self):
+        session = GenieSession()  # default limit is generous
+        handle = session.create_index(_docs(), model="document")
+        session.evict_all()
+        result = handle.search(["gpu index"], k=2)
+        assert result.swapped_in == 1
+
 
 class TestSearchSurface:
     def test_document_search_result_shape(self):
@@ -230,6 +334,40 @@ class TestResidency:
         assert docs.search(["gpu index search"], k=3).results
         assert seqs.search(["generic inverted indx"], k=1, n_candidates=2).payload[0].best is not None
         assert ann.search(rng.standard_normal((2, 8)), k=3).payload
+
+    def test_ensure_resident_bumps_touched_part_to_mru(self):
+        # Re-touching a resident part must move it to the MRU end, so the
+        # *other* index is the eviction victim when the budget tightens.
+        session = GenieSession()
+        a = session.create_index([[i % 7] for i in range(400)], model="raw", name="a")
+        b = session.create_index([[i % 7] for i in range(400)], model="raw", name="b")
+        assert session.resident_parts() == [("a", 0), ("b", 0)]
+        a.search([Query.from_keywords([0])], k=2)  # touch a: LRU order is now b, a
+        assert session.resident_parts() == [("b", 0), ("a", 0)]
+        # Room for two residents: attaching c evicts exactly the LRU one.
+        session.memory_budget = 2 * a.device_bytes + b.device_bytes // 2
+        session.create_index([[i % 7] for i in range(400)], model="raw", name="c")
+        assert not b.resident and a.resident  # b was LRU, a survived
+
+    def test_interleaved_multi_index_eviction_is_exactly_lru(self):
+        corpus = [[i % 5] for i in range(300)]
+        session = GenieSession()
+        handles = {n: session.create_index(corpus, model="raw", name=n) for n in "abcd"}
+        one = handles["a"].device_bytes
+        session.memory_budget = 4 * one  # everything fits so far
+        query = [Query.from_keywords([0])]
+        # Interleaved touches: LRU order becomes c, a, d, b.
+        for name in ["b", "c", "a", "d", "c", "a", "d", "b"]:
+            handles[name].search(query, k=1)
+        assert [n for n, _ in session.resident_parts()] == ["c", "a", "d", "b"]
+        # Room for three residents: attaching a new index must evict the
+        # two least recently used ones, in exactly LRU order.
+        session.memory_budget = 3 * one + one // 2
+        log_mark = session.residency_log.mark()
+        session.create_index(corpus, model="raw", name="e")
+        evicted = [e.index for e in session.residency_log.since(log_mark) if e.kind == "evict"]
+        assert evicted == ["c", "a"]
+        assert [n for n, _ in session.resident_parts()] == ["d", "b", "e"]
 
     def test_refit_replaces_parts(self):
         session = GenieSession()

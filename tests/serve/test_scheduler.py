@@ -1,0 +1,156 @@
+"""Tests for BatchPolicy and MicroBatchScheduler: triggers, fairness, lanes."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.scheduler import BatchPolicy, MicroBatchScheduler
+
+
+class _Req:
+    """Minimal queued item: arrival/seq/lane, as the scheduler requires."""
+
+    _next_seq = 0
+
+    def __init__(self, arrival=0.0, lane=(10, ())):
+        self.arrival = arrival
+        self.lane = lane
+        self.seq = _Req._next_seq
+        _Req._next_seq += 1
+
+    def __repr__(self):
+        return f"_Req(seq={self.seq}, t={self.arrival}, lane={self.lane})"
+
+
+class TestBatchPolicy:
+    def test_defaults_are_micro(self):
+        policy = BatchPolicy()
+        assert policy.kind == "micro"
+        assert policy.max_batch >= 1
+
+    def test_fifo_is_single_request(self):
+        policy = BatchPolicy.fifo()
+        assert policy.kind == "fifo"
+        assert policy.max_batch == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError, match="policy kind"):
+            BatchPolicy(kind="lifo")
+
+    def test_bad_max_batch_rejected(self):
+        with pytest.raises(ConfigError, match="max_batch"):
+            BatchPolicy.micro(max_batch=0)
+
+    def test_negative_max_wait_rejected(self):
+        with pytest.raises(ConfigError, match="max_wait"):
+            BatchPolicy.micro(max_wait=-1e-3)
+
+
+class TestFifo:
+    def test_global_arrival_order_across_indexes(self):
+        sched = MicroBatchScheduler(BatchPolicy.fifo())
+        a = _Req(arrival=0.1)
+        b = _Req(arrival=0.2)
+        c = _Req(arrival=0.15)
+        sched.enqueue("x", a)
+        sched.enqueue("x", b)
+        sched.enqueue("y", c)
+        batches = sched.pop_ready(now=1.0)
+        assert [(name, reqs[0]) for name, reqs in batches] == [("x", a), ("y", c), ("x", b)]
+        assert all(len(reqs) == 1 for _, reqs in batches)
+        assert sched.depth == 0
+
+    def test_arrival_tie_broken_by_seq(self):
+        sched = MicroBatchScheduler(BatchPolicy.fifo())
+        a = _Req(arrival=0.5)
+        b = _Req(arrival=0.5)
+        sched.enqueue("y", b)  # later seq enqueued first
+        sched.enqueue("x", a)
+        batches = sched.pop_ready(now=1.0)
+        first, second = [reqs[0] for _, reqs in batches]
+        assert (first, second) == ((a, b) if a.seq < b.seq else (b, a))
+
+    def test_next_deadline_is_oldest_arrival(self):
+        sched = MicroBatchScheduler(BatchPolicy.fifo())
+        assert sched.next_deadline() is None
+        sched.enqueue("x", _Req(arrival=0.7))
+        sched.enqueue("y", _Req(arrival=0.3))
+        assert sched.next_deadline() == 0.3
+
+
+class TestMicro:
+    def test_not_ready_before_wait_or_size(self):
+        sched = MicroBatchScheduler(BatchPolicy.micro(max_batch=4, max_wait=0.5))
+        sched.enqueue("x", _Req(arrival=0.0))
+        sched.enqueue("x", _Req(arrival=0.1))
+        assert sched.pop_ready(now=0.4) == []
+        assert sched.depth == 2
+
+    def test_size_trigger_dispatches_full_batch(self):
+        sched = MicroBatchScheduler(BatchPolicy.micro(max_batch=3, max_wait=100.0))
+        reqs = [_Req(arrival=0.0) for _ in range(3)]
+        for r in reqs:
+            sched.enqueue("x", r)
+        batches = sched.pop_ready(now=0.0)
+        assert batches == [("x", reqs)]
+
+    def test_wait_trigger_fires_exactly_at_deadline(self):
+        sched = MicroBatchScheduler(BatchPolicy.micro(max_batch=8, max_wait=0.5))
+        first = _Req(arrival=0.25)
+        sched.enqueue("x", first)
+        deadline = sched.next_deadline()
+        assert deadline == 0.25 + 0.5
+        assert sched.pop_ready(now=deadline - 1e-9) == []
+        batches = sched.pop_ready(now=deadline)
+        assert batches == [("x", [first])]
+
+    def test_round_robin_interleaves_ready_indexes(self):
+        sched = MicroBatchScheduler(BatchPolicy.micro(max_batch=2, max_wait=0.0))
+        hot = [_Req(arrival=0.0) for _ in range(6)]
+        cold = [_Req(arrival=0.0)]
+        for r in hot:
+            sched.enqueue("hot", r)
+        sched.enqueue("cold", cold[0])
+        batches = sched.pop_ready(now=0.0)
+        names = [name for name, _ in batches]
+        # The cold index is served within the first sweep, not after every
+        # hot batch: round-robin means position 0 or 1, never last.
+        assert "cold" in names[:2]
+        assert names.count("hot") == 3
+        served_hot = [r for name, reqs in batches if name == "hot" for r in reqs]
+        assert served_hot == hot  # order preserved within the hot queue
+
+    def test_lane_gather_splits_incompatible_requests(self):
+        sched = MicroBatchScheduler(BatchPolicy.micro(max_batch=8, max_wait=0.0))
+        k10 = [_Req(arrival=0.0, lane=(10, ())) for _ in range(2)]
+        k5 = _Req(arrival=0.0, lane=(5, ()))
+        sched.enqueue("x", k10[0])
+        sched.enqueue("x", k5)  # different lane interleaved
+        sched.enqueue("x", k10[1])
+        batches = sched.pop_ready(now=0.0)
+        assert ("x", k10) in [(n, r) for n, r in batches]
+        assert ("x", [k5]) in [(n, r) for n, r in batches]
+
+    def test_pop_all_chunks_by_max_batch(self):
+        sched = MicroBatchScheduler(BatchPolicy.micro(max_batch=2, max_wait=100.0))
+        reqs = [_Req(arrival=0.0) for _ in range(5)]
+        for r in reqs:
+            sched.enqueue("x", r)
+        batches = sched.pop_all()
+        assert [len(r) for _, r in batches] == [2, 2, 1]
+        assert [r for _, reqs in batches for r in reqs] == reqs
+        assert sched.depth == 0
+
+    def test_pop_all_ignores_readiness(self):
+        sched = MicroBatchScheduler(BatchPolicy.micro(max_batch=2, max_wait=100.0))
+        only = _Req(arrival=0.0)
+        sched.enqueue("x", only)
+        assert sched.pop_ready(now=0.0) == []  # neither size nor wait is due
+        assert sched.pop_all() == [("x", [only])]
+
+    def test_depths_per_index(self):
+        sched = MicroBatchScheduler(BatchPolicy.micro(max_batch=8, max_wait=100.0))
+        sched.enqueue("x", _Req())
+        sched.enqueue("x", _Req())
+        sched.enqueue("y", _Req())
+        assert sched.depths() == {"x": 2, "y": 1}
+        assert sched.depth == 3

@@ -1,0 +1,225 @@
+"""Tests for GenieServer: futures, admission, timing, drain/close."""
+
+import numpy as np
+import pytest
+
+from repro.api import GenieSession
+from repro.errors import AdmissionError, ConfigError, QueryError
+from repro.serve import BatchPolicy, GenieServer, VirtualClock
+
+
+def _docs(n=40):
+    words = ["gpu", "index", "search", "fast", "cat", "dog", "tree", "blue",
+             "red", "green", "warp", "batch", "queue", "cache", "merge", "scan"]
+    rng = np.random.default_rng(0)
+    return [" ".join(rng.choice(words, size=4, replace=False)) for _ in range(n)]
+
+
+DOCS = _docs()
+
+
+def make_server(policy=None, **kwargs):
+    session = GenieSession()
+    session.create_index(DOCS, model="document", name="tweets")
+    kwargs.setdefault("cache_size", None)
+    return GenieServer(session, policy=policy, **kwargs)
+
+
+class TestSubmission:
+    def test_fifo_submit_resolves_immediately(self):
+        server = make_server(BatchPolicy.fifo())
+        future = server.submit("tweets", DOCS[0], k=3)
+        assert future.done()
+        assert future.metadata.batch_size == 1
+        assert len(future.result()) == 3
+
+    def test_served_results_identical_to_direct_search(self):
+        server = make_server(BatchPolicy.micro(max_batch=4, max_wait=1.0))
+        queries = DOCS[:6]
+        futures = [server.submit("tweets", q, k=5) for q in queries]
+        server.drain()
+        direct = server.session.index("tweets").search(queries, k=5)
+        for future, expected in zip(futures, direct.results):
+            assert np.array_equal(future.result().ids, expected.ids)
+            assert np.array_equal(future.result().counts, expected.counts)
+
+    def test_micro_future_pending_until_batch_fires(self):
+        server = make_server(BatchPolicy.micro(max_batch=3, max_wait=100.0))
+        futures = [server.submit("tweets", DOCS[i], k=2) for i in range(2)]
+        assert not any(f.done() for f in futures)
+        with pytest.raises(QueryError, match="not completed"):
+            futures[0].result()
+        futures.append(server.submit("tweets", DOCS[2], k=2))  # 3rd fills the batch
+        assert all(f.done() for f in futures)
+        assert {f.metadata.batch_size for f in futures} == {3}
+
+    def test_submit_many_shares_one_batch(self):
+        server = make_server(BatchPolicy.micro(max_batch=8, max_wait=100.0))
+        futures = server.submit_many("tweets", DOCS[:5], k=2)
+        server.drain()
+        assert {f.metadata.batch_size for f in futures} == {5}
+
+    def test_unknown_index_rejected(self):
+        server = make_server()
+        with pytest.raises(ConfigError, match="no index named"):
+            server.submit("nope", DOCS[0])
+
+    def test_bad_k_rejected(self):
+        server = make_server()
+        with pytest.raises(QueryError, match="k must be"):
+            server.submit("tweets", DOCS[0], k=0)
+
+    def test_unknown_option_rejected_at_submit(self):
+        server = make_server()
+        with pytest.raises(QueryError):
+            server.submit("tweets", DOCS[0], k=2, n_candidates=8)
+
+    def test_malformed_query_rejected_at_submit(self):
+        # Unknown words fail admission, not someone else's coalesced batch.
+        server = make_server(BatchPolicy.micro(max_batch=4, max_wait=100.0))
+        with pytest.raises(QueryError, match="no indexed words"):
+            server.submit("tweets", "zzzz qqqq")
+        assert server.depth == 0
+
+    def test_default_k_comes_from_index_config(self):
+        server = make_server(BatchPolicy.fifo())
+        future = server.submit("tweets", DOCS[0])
+        assert future.metadata.k == server.session.index("tweets").config.k
+
+
+class TestAdmissionControl:
+    def test_queue_full_raises_admission_error(self):
+        server = make_server(BatchPolicy.micro(max_batch=64, max_wait=100.0),
+                             max_queue_depth=2)
+        server.submit("tweets", DOCS[0], k=2)
+        server.submit("tweets", DOCS[1], k=2)
+        with pytest.raises(AdmissionError, match="queue is full"):
+            server.submit("tweets", DOCS[2], k=2)
+        assert server.snapshot()["rejected"] == 1
+        server.drain()  # queued requests still complete
+
+    def test_submit_many_is_all_or_nothing(self):
+        server = make_server(BatchPolicy.micro(max_batch=64, max_wait=100.0),
+                             max_queue_depth=3)
+        with pytest.raises(AdmissionError):
+            server.submit_many("tweets", DOCS[:5], k=2)
+        assert server.depth == 0
+        assert server.snapshot()["rejected"] == 5
+
+    def test_depth_drops_after_dispatch(self):
+        server = make_server(BatchPolicy.micro(max_batch=2, max_wait=100.0),
+                             max_queue_depth=2)
+        server.submit("tweets", DOCS[0], k=2)
+        server.submit("tweets", DOCS[1], k=2)  # fills the batch -> dispatched
+        assert server.depth == 0
+        server.submit("tweets", DOCS[2], k=2)  # queue has room again
+
+    def test_bad_queue_depth_rejected(self):
+        session = GenieSession()
+        with pytest.raises(ConfigError, match="max_queue_depth"):
+            GenieServer(session, max_queue_depth=0)
+
+
+class TestVirtualTime:
+    def test_queue_time_measured_to_wait_deadline(self):
+        clock = VirtualClock()
+        server = make_server(BatchPolicy.micro(max_batch=8, max_wait=0.5), clock=clock)
+        future = server.submit("tweets", DOCS[0], k=2)
+        server.advance(2.0)  # deadline at 0.5 fires during the advance
+        assert future.done()
+        assert future.metadata.dispatched == 0.5
+        assert future.metadata.queue_time == 0.5
+        assert clock.now() == 2.0
+
+    def test_deadlines_fire_in_order_during_advance(self):
+        clock = VirtualClock()
+        server = make_server(BatchPolicy.micro(max_batch=8, max_wait=0.5), clock=clock)
+        first = server.submit("tweets", DOCS[0], k=2)
+        clock.advance(0.3)
+        second = server.submit("tweets", DOCS[1], k=2)
+        server.advance(10.0)
+        # Both rode the batch fired at the *first* request's deadline.
+        assert first.metadata.dispatched == 0.5
+        assert second.metadata.dispatched == 0.5
+        assert second.metadata.queue_time == pytest.approx(0.2)
+
+    def test_device_serializes_batches(self):
+        server = make_server(BatchPolicy.fifo())
+        a = server.submit("tweets", DOCS[0], k=2)
+        b = server.submit("tweets", DOCS[1], k=2)
+        # Both dispatched at t=0, but the device runs them back to back.
+        assert a.metadata.started == 0.0
+        assert b.metadata.started == a.metadata.completed
+        assert b.metadata.completed > a.metadata.completed
+
+    def test_latency_decomposes(self):
+        server = make_server(BatchPolicy.micro(max_batch=2, max_wait=100.0))
+        a = server.submit("tweets", DOCS[0], k=2)
+        server.submit("tweets", DOCS[1], k=2)
+        meta = a.metadata
+        assert meta.latency == pytest.approx(
+            meta.queue_time + (meta.started - meta.dispatched) + meta.service_time
+        )
+
+    def test_profile_share_splits_batch_profile(self):
+        server = make_server(BatchPolicy.micro(max_batch=2, max_wait=100.0))
+        a = server.submit("tweets", DOCS[0], k=2)
+        server.submit("tweets", DOCS[1], k=2)
+        share = a.metadata.profile_share()
+        assert share.total == pytest.approx(a.metadata.profile.total / 2)
+
+
+class TestLifecycle:
+    def test_close_drains_and_refuses(self):
+        server = make_server(BatchPolicy.micro(max_batch=64, max_wait=100.0))
+        future = server.submit("tweets", DOCS[0], k=2)
+        server.close()
+        assert future.done()
+        assert server.closed
+        with pytest.raises(ConfigError, match="server is closed"):
+            server.submit("tweets", DOCS[1], k=2)
+
+    def test_close_is_idempotent(self):
+        server = make_server()
+        server.close()
+        server.close()
+        assert server.closed
+
+    def test_context_manager_closes(self):
+        with make_server(BatchPolicy.micro(max_batch=64, max_wait=100.0)) as server:
+            future = server.submit("tweets", DOCS[0], k=2)
+        assert server.closed
+        assert future.done()
+
+    def test_index_dropped_while_queued_fails_futures_gracefully(self):
+        server = make_server(BatchPolicy.micro(max_batch=64, max_wait=100.0))
+        future = server.submit("tweets", DOCS[0], k=2)
+        server.session.drop("tweets")
+        server.drain()  # must not raise
+        assert future.done()
+        with pytest.raises(ConfigError, match="no index named"):
+            future.result()
+        assert server.snapshot()["failed"] == 1
+
+    def test_session_failure_fails_futures_not_server(self):
+        server = make_server(BatchPolicy.micro(max_batch=64, max_wait=100.0))
+        future = server.submit("tweets", DOCS[0], k=2)
+        server.session.close()  # out from under the server
+        server.drain()
+        assert future.done()
+        with pytest.raises(ConfigError, match="session is closed"):
+            future.result()
+        assert server.snapshot()["failed"] == 1
+
+
+class TestDeterminism:
+    def test_repeated_runs_snapshot_identically(self):
+        def run():
+            server = make_server(BatchPolicy.micro(max_batch=4, max_wait=2e-6))
+            for i, doc in enumerate(DOCS[:12]):
+                server.advance(1e-6)
+                server.submit("tweets", doc, k=3)
+            server.drain()
+            return server.snapshot()
+
+        assert run() == run()

@@ -1,0 +1,165 @@
+"""Tests for the seeded traffic generator and both serving loops."""
+
+import numpy as np
+import pytest
+
+from repro.api import GenieSession
+from repro.errors import ConfigError
+from repro.serve import (
+    BatchPolicy,
+    GenieServer,
+    TrafficSource,
+    run_closed_loop,
+    run_open_loop,
+    sample_trace,
+)
+
+
+def _docs(n=40):
+    words = ["gpu", "index", "search", "fast", "cat", "dog", "tree", "blue",
+             "red", "green", "warp", "batch", "queue", "cache", "merge", "scan"]
+    rng = np.random.default_rng(0)
+    return [" ".join(rng.choice(words, size=4, replace=False)) for _ in range(n)]
+
+
+DOCS = _docs()
+POINTS = np.random.default_rng(3).standard_normal((60, 8))
+
+
+def make_session():
+    session = GenieSession()
+    session.create_index(DOCS, model="document", name="tweets")
+    session.create_index(
+        POINTS, model="ann-e2lsh", num_functions=8, dim=8, width=4.0, domain=67,
+        seed=4, name="points",
+    )
+    return session
+
+
+def make_sources():
+    return [
+        TrafficSource("tweets", lambda rng: DOCS[int(rng.integers(len(DOCS)))],
+                      weight=0.7, k=3),
+        TrafficSource("points", lambda rng: rng.standard_normal(8), weight=0.3, k=3),
+    ]
+
+
+class TestTrace:
+    def test_same_seed_same_trace(self):
+        sources = make_sources()
+        a = sample_trace(sources, 50, rate=1e5, seed=11)
+        b = sample_trace(sources, 50, rate=1e5, seed=11)
+        assert [x.time for x in a] == [x.time for x in b]
+        assert [x.index for x in a] == [x.index for x in b]
+        for x, y in zip(a, b):
+            if isinstance(x.raw_query, np.ndarray):
+                assert np.array_equal(x.raw_query, y.raw_query)
+            else:
+                assert x.raw_query == y.raw_query
+
+    def test_different_seed_differs(self):
+        sources = make_sources()
+        a = sample_trace(sources, 50, rate=1e5, seed=11)
+        b = sample_trace(sources, 50, rate=1e5, seed=12)
+        assert [x.time for x in a] != [x.time for x in b]
+
+    def test_arrivals_are_increasing(self):
+        times = [x.time for x in sample_trace(make_sources(), 50, rate=1e5, seed=1)]
+        assert times == sorted(times)
+        assert times[0] > 0
+
+    def test_mix_respects_weights(self):
+        sources = [
+            TrafficSource("tweets", lambda rng: DOCS[0], weight=1.0),
+            TrafficSource("points", lambda rng: rng.standard_normal(8), weight=0.0),
+        ]
+        trace = sample_trace(sources, 40, rate=1e5, seed=5)
+        assert {x.index for x in trace} == {"tweets"}
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ConfigError, match="rate"):
+            sample_trace(make_sources(), 10, rate=0.0)
+        with pytest.raises(ConfigError, match="source"):
+            sample_trace([], 10, rate=1.0)
+        bad = [TrafficSource("tweets", lambda rng: DOCS[0], weight=-1.0)]
+        with pytest.raises(ConfigError, match="weights"):
+            sample_trace(bad, 10, rate=1.0)
+
+
+class TestOpenLoop:
+    def test_completes_all_admitted(self):
+        server = GenieServer(make_session(), policy=BatchPolicy.micro(8, 1e-5),
+                             cache_size=None, max_queue_depth=1000)
+        trace = sample_trace(make_sources(), 60, rate=1e6, seed=2)
+        served, rejected = run_open_loop(server, trace)
+        assert rejected == 0
+        assert len(served) == 60
+        assert all(future.done() for _, future in served)
+
+    def test_backpressure_counts_rejections(self):
+        server = GenieServer(make_session(), policy=BatchPolicy.micro(64, 1.0),
+                             cache_size=None, max_queue_depth=4)
+        trace = sample_trace(make_sources(), 40, rate=1e8, seed=2)
+        served, rejected = run_open_loop(server, trace)
+        assert rejected > 0
+        assert len(served) + rejected == 40
+        assert server.snapshot()["rejected"] == rejected
+        assert all(future.done() for _, future in served)
+
+    def test_served_results_match_direct_search(self):
+        session = make_session()
+        server = GenieServer(session, policy=BatchPolicy.micro(8, 1e-5), cache_size=None)
+        trace = sample_trace(make_sources(), 30, rate=1e6, seed=8)
+        served, _ = run_open_loop(server, trace)
+        for arrival, future in served:
+            direct = session.index(arrival.index).search([arrival.raw_query], k=arrival.k)
+            assert np.array_equal(future.result().ids, direct[0].ids)
+            assert np.array_equal(future.result().counts, direct[0].counts)
+
+
+class TestClosedLoop:
+    def test_every_client_request_served(self):
+        server = GenieServer(make_session(), policy=BatchPolicy.micro(4, 1e-5),
+                             cache_size=None)
+        served = run_closed_loop(server, make_sources(), n_clients=6,
+                                 requests_per_client=5, seed=3)
+        assert len(served) == 30
+        assert all(future.done() for _, future in served)
+
+    def test_bad_parameters_rejected(self):
+        server = GenieServer(make_session(), cache_size=None)
+        with pytest.raises(ConfigError):
+            run_closed_loop(server, make_sources(), n_clients=0, requests_per_client=1)
+        with pytest.raises(ConfigError):
+            run_closed_loop(server, make_sources(), n_clients=1, requests_per_client=1,
+                            think_time=-1.0)
+
+
+class TestDeterminism:
+    """Acceptance: repeated seeded runs produce identical percentiles."""
+
+    @pytest.mark.parametrize("policy_name", ["fifo", "micro"])
+    def test_open_loop_snapshot_bit_identical(self, policy_name):
+        def run():
+            policy = (BatchPolicy.fifo() if policy_name == "fifo"
+                      else BatchPolicy.micro(max_batch=8, max_wait=2e-6))
+            server = GenieServer(make_session(), policy=policy,
+                                 cache_size=32, max_queue_depth=1000)
+            trace = sample_trace(make_sources(), 80, rate=2e6, seed=21)
+            run_open_loop(server, trace)
+            return server.snapshot()
+
+        first, second = run(), run()
+        assert first == second
+        assert first["latency_p50"] > 0
+
+    def test_closed_loop_snapshot_bit_identical(self):
+        def run():
+            server = GenieServer(make_session(),
+                                 policy=BatchPolicy.micro(max_batch=4, max_wait=2e-6),
+                                 cache_size=32)
+            run_closed_loop(server, make_sources(), n_clients=8,
+                            requests_per_client=6, think_time=1e-6, seed=5)
+            return server.snapshot()
+
+        assert run() == run()
