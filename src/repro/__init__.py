@@ -5,6 +5,10 @@ GPU" (ICDE 2018). Subpackages:
 
 * :mod:`repro.api` — the unified session layer (match models, multi-index
   device residency, one search surface per modality),
+* :mod:`repro.serve` — online serving (micro-batching, admission control,
+  caching, metrics) over a session,
+* :mod:`repro.cluster` — sharded execution across N simulated devices
+  (range/hash partitioning, concurrent shard scans, exact merge),
 * :mod:`repro.gpu` — the simulated GPU/CPU substrate,
 * :mod:`repro.core` — match-count model, inverted index, c-PQ, engine,
 * :mod:`repro.lsh` — LSH families, re-hashing, tau-ANN search,

@@ -127,6 +127,10 @@ class SearchResult:
             this index's own parts swapping out).
         swapped_in: Number of parts transferred to the device during the
             search (0 when everything was already resident).
+        shard_profiles: Per-shard stage profiles when the search ran on a
+            sharded index (``profile`` is then the concurrent critical
+            path — slowest shard plus the host merge); ``None`` for
+            unsharded indexes.
     """
 
     results: list[TopKResult]
@@ -134,6 +138,7 @@ class SearchResult:
     payload: Any = None
     evicted: tuple[ResidencyEvent, ...] = ()
     swapped_in: int = 0
+    shard_profiles: tuple[StageTimings, ...] | None = None
 
     @property
     def ids(self) -> list[np.ndarray]:
@@ -153,18 +158,27 @@ class SearchResult:
 
 
 class _IndexPart:
-    """One device-swappable slice of an index: corpus + inverted index + engine."""
+    """One device-swappable slice of an index: corpus + inverted index + engine.
 
-    __slots__ = ("handle", "position", "engine", "corpus", "index", "offset", "device_bytes")
+    ``offset`` remaps the part's local object ids back to global ids for
+    contiguous partitions (multi-loading parts); sharded handles pass an
+    explicit ``global_ids`` gather map instead (hash partitions are not
+    contiguous) and leave ``offset`` at 0.
+    """
+
+    __slots__ = ("handle", "position", "engine", "corpus", "index", "offset",
+                 "global_ids", "device_bytes")
 
     def __init__(self, handle: "IndexHandle", position: int, engine: GenieEngine,
-                 corpus: Corpus, index: InvertedIndex, offset: int):
+                 corpus: Corpus, index: InvertedIndex, offset: int,
+                 global_ids: np.ndarray | None = None):
         self.handle = handle
         self.position = position
         self.engine = engine
         self.corpus = corpus
         self.index = index
         self.offset = offset
+        self.global_ids = global_ids
         # The device-resident List Array holds 32-bit ids (what
         # GenieEngine.attach_index actually transfers and allocates).
         self.device_bytes = 4 * int(index.list_array.size)
@@ -206,6 +220,11 @@ class GenieSession:
         if int(memory_budget) <= 0:
             raise ConfigError("memory_budget must be positive")
         self.memory_budget = int(memory_budget)
+        # Shard devices: pool position 0 is the session's primary device;
+        # sharded indexes extend the pool on demand (same spec/cost model)
+        # and shard i of every sharded index lives on pool device i. The
+        # memory budget bounds *aggregate* residency across the pool.
+        self._device_pool: list[Device] = [self.device]
         self.residency_log = ResidencyLog(limit=residency_log_limit)
         self._handles: dict[str, IndexHandle] = {}
         self._resident: dict[int, _IndexPart] = {}  # insertion order == LRU order
@@ -215,6 +234,23 @@ class GenieSession:
         # Searches register a sink here to observe their own residency
         # events exactly, independent of the bounded log's retention.
         self._event_sinks: list[list[ResidencyEvent]] = []
+
+    # ------------------------------------------------------------------
+    # devices
+
+    def shard_devices(self, n: int) -> list[Device]:
+        """The first ``n`` pool devices, creating any that do not exist.
+
+        Device 0 is the session's primary :attr:`device`; new pool devices
+        share its spec and cost model. Shard ``i`` of every sharded index
+        maps to pool device ``i``, so two 4-shard indexes contend for the
+        same four devices — multi-tenancy over one fixed cluster.
+        """
+        if int(n) < 1:
+            raise ConfigError("need at least one shard device")
+        while len(self._device_pool) < int(n):
+            self._device_pool.append(Device(spec=self.device.spec, costs=self.device.costs))
+        return self._device_pool[: int(n)]
 
     # ------------------------------------------------------------------
     # index lifecycle
@@ -227,6 +263,9 @@ class GenieSession:
         config: GenieConfig | None = None,
         part_size: int | None = None,
         swap_parts: bool = False,
+        shards: int | None = None,
+        shard_strategy: str = "range",
+        shard_seed: int = 0,
         **model_kwargs,
     ) -> "IndexHandle":
         """Encode ``data`` with ``model`` and register a fitted index.
@@ -245,6 +284,14 @@ class GenieSession:
             swap_parts: Evict each part right after querying it (the
                 paper's multi-loading protocol). ``False`` leaves parts
                 resident until the budget forces eviction.
+            shards: Partition the corpus across this many simulated
+                devices and scan them concurrently (see
+                :mod:`repro.cluster`); returns a
+                :class:`~repro.cluster.executor.ShardedIndexHandle`.
+                Mutually exclusive with ``part_size``/``swap_parts``
+                (sharding multiplexes space, multi-loading time).
+            shard_strategy: ``"range"`` or ``"hash"`` partitioning.
+            shard_seed: Hash-partition seed.
             model_kwargs: Forwarded to the model factory for string specs.
 
         Returns:
@@ -252,7 +299,8 @@ class GenieSession:
         """
         handle = self.declare_index(
             model, name=name, config=config, part_size=part_size,
-            swap_parts=swap_parts, **model_kwargs,
+            swap_parts=swap_parts, shards=shards, shard_strategy=shard_strategy,
+            shard_seed=shard_seed, **model_kwargs,
         )
         return handle.fit(data)
 
@@ -263,6 +311,9 @@ class GenieSession:
         config: GenieConfig | None = None,
         part_size: int | None = None,
         swap_parts: bool = False,
+        shards: int | None = None,
+        shard_strategy: str = "range",
+        shard_seed: int = 0,
         **model_kwargs,
     ) -> "IndexHandle":
         """Register an *unfitted* index; call :meth:`IndexHandle.fit` later.
@@ -277,11 +328,28 @@ class GenieSession:
             self._auto_names += 1
         if name in self._handles:
             raise ConfigError(f"an index named {name!r} already exists in this session")
-        handle = IndexHandle(
-            self, name, model,
-            config if config is not None else self.config,
-            part_size=part_size, swap_parts=swap_parts,
-        )
+        resolved_config = config if config is not None else self.config
+        if shards is not None:
+            if part_size is not None or swap_parts:
+                raise ConfigError(
+                    "shards= is mutually exclusive with part_size=/swap_parts=; "
+                    "sharding partitions across devices, multi-loading through one"
+                )
+            from repro.cluster.executor import ShardedIndexHandle
+
+            handle: IndexHandle = ShardedIndexHandle(
+                self, name, model, resolved_config,
+                shards=shards, strategy=shard_strategy, seed=shard_seed,
+            )
+        else:
+            if shard_strategy != "range" or shard_seed != 0:
+                raise ConfigError(
+                    "shard_strategy=/shard_seed= require shards=N"
+                )
+            handle = IndexHandle(
+                self, name, model, resolved_config,
+                part_size=part_size, swap_parts=swap_parts,
+            )
         self._handles[name] = handle
         return handle
 
@@ -390,10 +458,14 @@ class GenieSession:
             # Only an explicitly constrained budget raises the advisory
             # error; at full capacity the attach below reports the
             # hardware-level GpuOutOfMemoryError, as the engine always has.
+            advice = (
+                "raise shards= or the memory budget"
+                if part.global_ids is not None  # shard parts cannot take part_size
+                else "partition the index with part_size"
+            )
             raise ConfigError(
                 f"index part of {part.device_bytes} bytes exceeds the session's "
-                f"memory budget of {self.memory_budget} bytes; partition the "
-                f"index with part_size"
+                f"memory budget of {self.memory_budget} bytes; {advice}"
             )
         while self._resident and self.resident_bytes + part.device_bytes > self.memory_budget:
             self._evict_lru()
@@ -402,9 +474,17 @@ class GenieSession:
                 part.engine.attach_index(part.index, part.corpus)
                 break
             except GpuOutOfMemoryError:
-                if not self._resident:
+                # Evict LRU-first among parts on the device that actually
+                # OOMed: with a multi-device shard pool, evicting another
+                # device's residents frees nothing here.
+                victim = next(
+                    (p for p in self._resident.values()
+                     if p.engine.device is part.engine.device),
+                    None,
+                )
+                if victim is None:
                     raise
-                self._evict_lru()
+                self._evict_part(victim)
         self._resident[key] = part
         self._record_event(
             ResidencyEvent("attach", part.handle.name, part.position, part.device_bytes)
@@ -501,13 +581,12 @@ class IndexHandle:
     # ------------------------------------------------------------------
     # lifecycle
 
-    def fit(self, data) -> "IndexHandle":
-        """Encode ``data``, build the part indexes on the host.
+    def _prepare_fit(self, data) -> Corpus:
+        """Shared fit preamble: lifecycle bookkeeping + corpus encoding.
 
-        Unpartitioned indexes are attached to the device immediately
-        (paying ``index_transfer``, exactly like the legacy wrappers);
-        partitioned indexes defer residency to search time, matching the
-        multi-loading protocol where only builds happen offline.
+        Bumps the fit epoch, notifies invalidation hooks (serving caches
+        subscribe), encodes the raw data, and clears the previous parts.
+        Both the serial and the sharded fit build on this.
         """
         self.session._check_open()
         self.fit_epoch += 1
@@ -517,6 +596,26 @@ class IndexHandle:
             corpus = Corpus(corpus)
         self.evict()
         self._parts = []
+        return corpus
+
+    def _part_engine(self, position: int, device: Device | None = None) -> GenieEngine:
+        """Engine for part ``position``: part 0 reuses the pre-fit engine."""
+        if position == 0:
+            return self._engine0
+        return GenieEngine(
+            device=device if device is not None else self.session.device,
+            host=self.session.host, config=self.config,
+        )
+
+    def fit(self, data) -> "IndexHandle":
+        """Encode ``data``, build the part indexes on the host.
+
+        Unpartitioned indexes are attached to the device immediately
+        (paying ``index_transfer``, exactly like the legacy wrappers);
+        partitioned indexes defer residency to search time, matching the
+        multi-loading protocol where only builds happen offline.
+        """
+        corpus = self._prepare_fit(data)
         if self.part_size is None:
             slices = [(0, corpus)]
         else:
@@ -527,11 +626,8 @@ class IndexHandle:
         for position, (offset, part_corpus) in enumerate(slices):
             index = InvertedIndex.build(part_corpus, load_balance=self.config.load_balance)
             self.session.host.charge_ops(index.build_ops, stage="index_build")
-            engine = self._engine0 if position == 0 else GenieEngine(
-                device=self.session.device, host=self.session.host, config=self.config
-            )
             self._parts.append(
-                _IndexPart(self, position, engine, part_corpus, index, offset)
+                _IndexPart(self, position, self._part_engine(position), part_corpus, index, offset)
             )
         if self.part_size is None and self._parts and not self.swap_parts:
             self.session._ensure_resident(self._parts[0])
@@ -688,7 +784,9 @@ class IndexHandle:
 
         # Multi-part: query each part, merge per query on the host
         # (Fig. 6). Parts partition the objects, so an object's count is
-        # complete within its part and the merge is exact.
+        # complete within its part and the merge is exact. The sharded
+        # merge (repro.cluster.executor.merge_shard_results) parallels
+        # this ordering deliberately — keep tie-order changes in sync.
         merged_ids: list[list[np.ndarray]] = [[] for _ in queries]
         merged_counts: list[list[np.ndarray]] = [[] for _ in queries]
         for part in self._parts:

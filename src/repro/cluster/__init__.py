@@ -1,0 +1,52 @@
+"""Sharded multi-device execution: partition the corpus, scan in parallel.
+
+``repro.cluster`` is the scale-*out* axis of the reproduction. PR 1 made
+one device fast (the vectorized batch pipeline), ``repro.serve`` made it
+serve a stream; this package partitions a corpus across **N simulated
+devices** and answers every query with an exact global top-k:
+
+* :class:`~repro.cluster.plan.ShardPlan` — object-range or seeded
+  hash partitioning into per-shard corpora with local↔global id maps,
+* :class:`~repro.cluster.executor.ShardedExecutor` — core-level N-device
+  ``fit``/``query`` (per-shard batch scans on independent device
+  timelines, scatter/gather transfer costs, deterministic lexsort merge),
+* :class:`~repro.cluster.executor.ShardedIndexHandle` — the session
+  surface behind ``GenieSession.create_index(..., shards=N)``: per-shard
+  residency accounting plus per-shard profile slices on every result.
+
+Results are **bit-identical** to a single unsharded index (ids, counts,
+tie order, thresholds): shards partition the objects, so match counts are
+complete within each shard and the candidate merge is exact — the same
+argument Section III-D makes for multi-loading, applied in space instead
+of time. Simulated latency is the *critical path* (slowest shard + host
+merge), which is what makes sharding a throughput multiplier.
+
+Quickstart::
+
+    from repro.api import GenieSession
+
+    session = GenieSession()
+    docs = session.create_index(texts, model="document", name="tweets",
+                                shards=4, shard_strategy="hash")
+    result = docs.search(["gpu similarity search"], k=10)
+    result.profile.query_total()     # critical path: slowest shard + merge
+    [p.query_total() for p in result.shard_profiles]  # per-shard slices
+"""
+
+from repro.cluster.executor import (
+    ShardedExecutor,
+    ShardedIndexHandle,
+    critical_path_profile,
+    merge_shard_results,
+)
+from repro.cluster.plan import PARTITION_STRATEGIES, ShardPlan, ShardSlice
+
+__all__ = [
+    "ShardPlan",
+    "ShardSlice",
+    "PARTITION_STRATEGIES",
+    "ShardedExecutor",
+    "ShardedIndexHandle",
+    "merge_shard_results",
+    "critical_path_profile",
+]

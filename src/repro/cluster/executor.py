@@ -1,0 +1,355 @@
+"""Sharded execution: concurrent per-shard scans, exact global top-k.
+
+The executor is the space-multiplexed dual of Section III-D's
+multi-loading: where multi-loading swaps index parts through *one* device
+in turn (time on the critical path adds up part by part), sharding gives
+every part its *own* simulated device and runs the batch against all
+shards concurrently. One query batch costs:
+
+* **scatter** — the encoded batch is broadcast to every shard device
+  (each shard engine pays the full ``query_transfer`` on its own PCIe
+  link, in parallel),
+* **scan** — PR 1's vectorized batch pipeline
+  (:func:`repro.core.batch_scan.plan_batch_scan` via
+  :meth:`~repro.core.engine.GenieEngine.query`) runs per shard on the
+  shard's own device timeline over its slice of the postings,
+* **gather** — each shard transfers its per-query top-k candidates back
+  (the ``select``-stage result transfer, again per link in parallel),
+* **merge** — the host merges the shards' candidates per query with the
+  deterministic count-desc / id-asc lexsort already used by the
+  multi-loading merge. Shards partition the objects, so every count is
+  complete within its shard and the merged top-k is **bit-identical** to
+  a single unsharded index (ids, counts, and tie order).
+
+Simulated latency models the concurrency: a batch's profile is the
+*slowest shard's* stage profile (the critical path) plus the host-side
+``result_merge`` — not the sum over shards. Per-shard profiles are kept
+so callers (the serve layer's imbalance counters, the shard-scaling
+benchmark) can see how evenly the work spread.
+
+Two entry points:
+
+* :class:`ShardedExecutor` — core-level: owns its devices and engines,
+  ``fit``/``query`` like a :class:`~repro.core.engine.GenieEngine`.
+* :class:`ShardedIndexHandle` — session-level: the
+  :meth:`~repro.api.session.GenieSession.create_index` ``shards=N``
+  surface, with every shard participating in the session's residency
+  accounting as its own attach/evict unit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.session import IndexHandle, _IndexPart
+from repro.cluster.plan import ShardPlan, check_partition_args
+from repro.core.engine import GenieConfig, GenieEngine
+from repro.core.inverted_index import InvertedIndex
+from repro.core.types import ID_DTYPE, Corpus, Query, TopKResult
+from repro.errors import ConfigError, QueryError
+from repro.gpu.device import Device
+from repro.gpu.host import HostCpu
+from repro.gpu.stats import StageTimings
+
+
+def merge_shard_results(
+    per_shard: list[list[TopKResult]],
+    global_id_maps: list[np.ndarray],
+    n_queries: int,
+    k: int,
+    host: HostCpu,
+    n_objects: int | None = None,
+) -> tuple[list[TopKResult], float]:
+    """Merge per-shard top-k candidates into the exact global top-k.
+
+    Args:
+        per_shard: One result list (aligned with the query batch) per
+            shard that was scanned.
+        global_id_maps: Per shard, the local → global object id map its
+            results must be remapped through (aligned with ``per_shard``).
+        n_queries: Batch size (needed when every shard is empty).
+        k: Results to keep per query.
+        host: Host CPU charged for the merge (``result_merge`` stage).
+        n_objects: Global corpus size; caps the threshold rank at
+            ``min(k, n_objects)`` exactly as the unsharded selection does
+            when ``k`` exceeds the corpus. ``k`` when omitted.
+
+    Returns:
+        ``(results, merge_seconds)``: the merged results (count-desc /
+        global-id-asc order, thresholds re-pinned to the global k-th
+        count per Theorem 3.1) and the host seconds the merge cost.
+
+    This deliberately parallels the multi-loading merge in
+    :meth:`IndexHandle._run_parts <repro.api.session.IndexHandle._run_parts>`
+    rather than sharing code with it: the legacy merge keeps its
+    seed-pinned semantics (no threshold on merged results, a full
+    re-sort cost model), while shards remap through gather maps,
+    re-pin thresholds, and charge a heap merge. A tie-order change must
+    be applied to both.
+    """
+    kk = min(k, int(n_objects)) if n_objects is not None else k
+    results: list[TopKResult] = []
+    merge_ops = 0.0
+    for qi in range(n_queries):
+        ids_parts = []
+        count_parts = []
+        for shard_results, global_ids in zip(per_shard, global_id_maps):
+            r = shard_results[qi]
+            if r.ids.size:
+                ids_parts.append(global_ids[r.ids])
+                count_parts.append(r.counts)
+        ids = np.concatenate(ids_parts) if ids_parts else np.empty(0, dtype=ID_DTYPE)
+        counts = np.concatenate(count_parts) if count_parts else np.empty(0, dtype=ID_DTYPE)
+        order = np.lexsort((ids, -counts))[:k]
+        top_counts = counts[order]
+        # Any object in the global top-k beats its shard-mates under the
+        # same order, so it survived its shard's selection: the kk-th
+        # merged count is the global kk-th count (Theorem 3.1's AT - 1).
+        threshold = int(top_counts[kk - 1]) if 0 < kk <= top_counts.size else 0
+        results.append(TopKResult(ids=ids[order], counts=top_counts, threshold=threshold))
+        # Charged as an S-way heap merge of the shards' already-sorted
+        # candidate lists: O(C log S), not a full O(C log C) re-sort (the
+        # lexsort below is an implementation convenience, not the model).
+        merge_ops += ids.size * max(1.0, np.log2(max(len(per_shard), 2)))
+    merge_seconds = host.charge_ops(merge_ops, stage="result_merge")
+    return results, merge_seconds
+
+
+def critical_path_profile(shard_profiles: list[StageTimings]) -> StageTimings:
+    """The slowest shard's profile — the latency of a concurrent scan.
+
+    Shards run on independent device timelines, so a batch completes when
+    the slowest shard does; the critical path is one shard's whole stage
+    profile, not a stage-wise sum or max over shards. Ties break to the
+    earliest shard position (deterministic).
+    """
+    slowest: StageTimings | None = None
+    for profile in shard_profiles:
+        if slowest is None or profile.query_total() > slowest.query_total():
+            slowest = profile
+    return slowest.copy() if slowest is not None else StageTimings()
+
+
+class ShardedExecutor:
+    """Core-level sharded GENIE: N devices, one exact search surface.
+
+    Mirrors :class:`~repro.core.engine.GenieEngine`'s ``fit`` / ``query``
+    shape so core workloads and benchmarks can shard without a session.
+
+    Args:
+        n_shards: Number of shards (== devices). Derived from ``devices``
+            when those are given.
+        devices: The shard devices; ``n_shards`` fresh default devices
+            when omitted.
+        host: Shared simulated host (builds, merges); fresh when omitted.
+        config: Engine configuration applied to every shard engine.
+        strategy: Partition strategy (see :class:`ShardPlan`).
+        seed: Hash-partition seed.
+    """
+
+    def __init__(
+        self,
+        n_shards: int | None = None,
+        devices: list[Device] | None = None,
+        host: HostCpu | None = None,
+        config: GenieConfig | None = None,
+        strategy: str = "range",
+        seed: int = 0,
+    ):
+        if devices is not None:
+            if n_shards is not None and int(n_shards) != len(devices):
+                raise ConfigError("n_shards must match the number of devices")
+            n_shards = len(devices)
+        if n_shards is None or int(n_shards) < 1:
+            raise ConfigError("need n_shards >= 1 (or an explicit device list)")
+        self.devices = devices if devices is not None else [Device() for _ in range(int(n_shards))]
+        self.host = host if host is not None else HostCpu()
+        self.config = config if config is not None else GenieConfig()
+        self.strategy = strategy
+        self.seed = int(seed)
+        self.engines = [
+            GenieEngine(device=device, host=self.host, config=self.config)
+            for device in self.devices
+        ]
+        self.plan: ShardPlan | None = None
+        self.last_profile: StageTimings | None = None
+        self.last_shard_profiles: list[StageTimings] | None = None
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards (one engine/device each)."""
+        return len(self.engines)
+
+    def fit(self, corpus: Corpus) -> "ShardedExecutor":
+        """Partition the corpus and build+attach every shard's index."""
+        self.plan = ShardPlan.build(corpus, self.n_shards, self.strategy, self.seed)
+        for engine, shard in zip(self.engines, self.plan.shards):
+            engine.fit(shard.corpus)
+        return self
+
+    def query(
+        self, queries: list[Query], k: int | None = None, batch_size: int | None = None
+    ) -> list[TopKResult]:
+        """Scan every shard concurrently; return the exact global top-k.
+
+        ``last_profile`` holds the batch's critical-path profile (slowest
+        shard + host merge); ``last_shard_profiles`` the per-shard slices.
+
+        Raises:
+            QueryError: Unfitted executor, empty batch, or bad ``k``.
+        """
+        if self.plan is None:
+            raise QueryError("sharded executor must be fitted before querying")
+        queries = list(queries)
+        if not queries:
+            raise QueryError("empty query batch")
+        k = int(k if k is not None else self.config.k)
+        if k < 1:
+            raise QueryError("k must be >= 1")
+
+        per_shard: list[list[TopKResult]] = []
+        shard_profiles: list[StageTimings] = []
+        for engine in self.engines:
+            if batch_size is None:
+                per_shard.append(engine.query(queries, k=k))
+            else:
+                per_shard.append(engine.query_batched(queries, k=k, batch_size=batch_size))
+            shard_profiles.append(engine.last_profile.copy())
+
+        merged, merge_seconds = merge_shard_results(
+            per_shard, [shard.global_ids for shard in self.plan.shards],
+            len(queries), k, self.host, n_objects=self.plan.n_objects,
+        )
+        profile = critical_path_profile(shard_profiles)
+        profile.add("result_merge", merge_seconds)
+        self.last_profile = profile
+        self.last_shard_profiles = shard_profiles
+        return merged
+
+
+class ShardedIndexHandle(IndexHandle):
+    """A session index whose corpus is partitioned across shard devices.
+
+    Created by :meth:`GenieSession.create_index(..., shards=N)
+    <repro.api.session.GenieSession.create_index>`; satisfies the whole
+    :class:`~repro.api.session.IndexHandle` search surface. Every shard
+    is its own residency unit: it attaches to its own pool device, counts
+    toward the session's (aggregate) memory budget, and can be LRU-evicted
+    and swapped back in independently. Search results carry per-shard
+    profile slices in :attr:`SearchResult.shard_profiles
+    <repro.api.session.SearchResult.shard_profiles>`; the result's main
+    ``profile`` is the concurrent critical path (slowest shard + merge).
+    """
+
+    def __init__(
+        self,
+        session,
+        name: str,
+        model,
+        config: GenieConfig,
+        shards: int,
+        strategy: str = "range",
+        seed: int = 0,
+    ):
+        if int(shards) < 1:
+            raise ConfigError("shards must be >= 1")
+        check_partition_args(strategy, seed)  # fail before the name registers
+        super().__init__(session, name, model, config, part_size=None, swap_parts=False)
+        self.n_shards = int(shards)
+        self.shard_strategy = strategy
+        self.shard_seed = int(seed)
+        self.plan: ShardPlan | None = None
+        self._last_shard_profiles: list[StageTimings] = []
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards the corpus is partitioned into."""
+        return self.n_shards
+
+    @property
+    def shard_profiles(self) -> tuple[StageTimings, ...]:
+        """Per-shard stage profiles of the last search, in shard order."""
+        return tuple(self._last_shard_profiles)
+
+    def shard_devices(self) -> list[Device]:
+        """The pool devices this index's shards live on, in shard order."""
+        return self.session.shard_devices(self.n_shards)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def fit(self, data) -> "ShardedIndexHandle":
+        """Encode ``data``, partition it, build one index per shard.
+
+        Every shard index is built on the host and attached to its own
+        pool device immediately (each paying ``index_transfer`` on its own
+        link); the session may LRU-evict shards later under budget
+        pressure, and search swaps them back in per shard.
+        """
+        corpus = self._prepare_fit(data)
+        self.plan = ShardPlan.build(corpus, self.n_shards, self.shard_strategy, self.shard_seed)
+        devices = self.session.shard_devices(self.n_shards)
+        for shard in self.plan.shards:
+            index = InvertedIndex.build(shard.corpus, load_balance=self.config.load_balance)
+            self.session.host.charge_ops(index.build_ops, stage="index_build")
+            self._parts.append(
+                _IndexPart(
+                    self, shard.position,
+                    self._part_engine(shard.position, devices[shard.position]),
+                    shard.corpus, index, offset=0, global_ids=shard.global_ids,
+                )
+            )
+        for part in self._parts:
+            self.session._ensure_resident(part)
+        return self
+
+    # ------------------------------------------------------------------
+    # search
+
+    def search_encoded(self, raw_queries, queries, k=None, batch_size=None, **search_opts):
+        """See :meth:`IndexHandle.search_encoded`; adds shard profiles."""
+        self._last_shard_profiles = []
+        result = super().search_encoded(
+            raw_queries, queries, k=k, batch_size=batch_size, **search_opts
+        )
+        if not self._last_shard_profiles:
+            # Every query was skipped (e.g. no indexed grams), so no shard
+            # ran — but this is still a sharded result and must keep the
+            # per-shard contract: one empty profile per shard, never ().
+            self._last_shard_profiles = [StageTimings() for _ in self._parts]
+        result.shard_profiles = tuple(self._last_shard_profiles)
+        return result
+
+    def _run_parts(self, queries, k, batch_size, profile):
+        """Concurrent shard scans + exact merge (overrides the serial base).
+
+        Each shard ensures its own residency (swap-ins land on the shard's
+        device and in its profile slice), scans on its own timeline, and
+        the merged profile is the critical path plus the host merge.
+        """
+        per_shard: list[list[TopKResult]] = []
+        shard_profiles: list[StageTimings] = []
+        id_maps: list[np.ndarray] = []
+        for part in self._parts:
+            device = part.engine.device
+            transfer_before = device.timings.get("index_transfer")
+            self.session._ensure_resident(part)
+            part_results = self._query_engine(part.engine, queries, k, batch_size)
+            shard_profile = part.engine.last_profile.copy()
+            swap_seconds = device.timings.get("index_transfer") - transfer_before
+            if swap_seconds > 0:
+                shard_profile.add("index_transfer", swap_seconds)
+            per_shard.append(part_results)
+            shard_profiles.append(shard_profile)
+            id_maps.append(part.global_ids)
+        merged, merge_seconds = merge_shard_results(
+            per_shard, id_maps, len(queries), k, self.session.host,
+            n_objects=self.plan.n_objects if self.plan is not None else None,
+        )
+        profile.merge(critical_path_profile(shard_profiles))
+        profile.add("result_merge", merge_seconds)
+        self._last_shard_profiles = shard_profiles
+        return merged

@@ -1,0 +1,198 @@
+"""Shard planning: partition a corpus across simulated devices.
+
+The paper's multi-loading scheme (Section III-D) time-multiplexes one GPU
+over index parts; sharding is its space-multiplexed dual. A
+:class:`ShardPlan` splits a corpus into N disjoint slices — one per
+simulated device — with each slice keeping a *local* id space (0..m-1,
+what its inverted index and engine see) plus the map back to global
+object ids. Because the slices partition the objects, an object's match
+count is computed entirely within its shard and a candidate merge over
+the shards' top-k is exact (the same argument Fig. 6 makes for
+multi-loading parts).
+
+Two partition strategies:
+
+* ``"range"`` — contiguous object ranges of near-equal size. Cheapest
+  remap (an offset), but inherits any ordering skew in the corpus: if
+  heavy-postings objects cluster (Fig. 12's skewed Adult columns, sorted
+  data), the shard holding them does most of the scan work while the
+  rest idle.
+* ``"hash"`` — objects are assigned by a seeded integer hash of their
+  global id. Destroys ordering skew, so per-shard postings work evens
+  out at the cost of a gather-style remap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.types import ID_DTYPE, Corpus
+from repro.errors import ConfigError
+
+#: Partition strategies understood by :meth:`ShardPlan.build`.
+PARTITION_STRATEGIES = ("range", "hash")
+
+
+def check_partition_args(strategy: str, seed: int) -> None:
+    """Validate a partition strategy/seed pair.
+
+    Shared by :meth:`ShardPlan.build` and the session handle's
+    constructor, so misconfiguration fails at ``create_index`` time
+    (before the index name is registered), not at fit.
+
+    Raises:
+        ConfigError: Unknown strategy, or a seed outside ``[0, 2**64)``
+            (``np.uint64`` would raise a raw OverflowError).
+    """
+    if strategy not in PARTITION_STRATEGIES:
+        raise ConfigError(
+            f"unknown shard strategy {strategy!r}; expected one of {PARTITION_STRATEGIES}"
+        )
+    if not 0 <= int(seed) < 2**64:
+        raise ConfigError("shard seed must fit in 64 bits (0 <= seed < 2**64)")
+
+#: 64-bit Fibonacci-hashing multiplier (2^64 / golden ratio, odd).
+_HASH_MULTIPLIER = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _hash_ids(ids: np.ndarray, seed: int) -> np.ndarray:
+    """A seeded 64-bit mix of object ids (deterministic across platforms)."""
+    mixed = (ids.astype(np.uint64) + np.uint64(seed)) * _HASH_MULTIPLIER
+    mixed ^= mixed >> np.uint64(33)
+    mixed *= _HASH_MULTIPLIER
+    mixed ^= mixed >> np.uint64(29)
+    return mixed
+
+
+@dataclass
+class ShardSlice:
+    """One shard of a plan: a corpus slice in its own local id space.
+
+    Attributes:
+        position: Shard position within the plan (device index).
+        corpus: The shard's objects, locally numbered ``0..len-1``.
+        global_ids: Map from local object id to global object id
+            (``global_ids[local]``); sorted ascending, so local id order
+            preserves global id order and per-shard tie-breaks agree with
+            the unsharded index.
+    """
+
+    position: int
+    corpus: Corpus
+    global_ids: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.corpus)
+
+
+class ShardPlan:
+    """A disjoint partition of a corpus over ``n_shards`` shards.
+
+    Build with :meth:`build` (or the strategy-specific constructors); do
+    not construct directly unless the slices are known to partition the
+    global id space.
+
+    Attributes:
+        strategy: ``"range"`` or ``"hash"``.
+        n_objects: Global corpus size the plan covers.
+        shards: One :class:`ShardSlice` per shard, in position order.
+    """
+
+    def __init__(self, shards: list[ShardSlice], strategy: str, n_objects: int):
+        self.shards = list(shards)
+        self.strategy = strategy
+        self.n_objects = int(n_objects)
+
+    # ------------------------------------------------------------------
+    # construction
+
+    @classmethod
+    def build(
+        cls,
+        corpus: Corpus,
+        n_shards: int,
+        strategy: str = "range",
+        seed: int = 0,
+    ) -> "ShardPlan":
+        """Partition ``corpus`` into ``n_shards`` slices.
+
+        Args:
+            corpus: The global corpus (anything accepted by
+                :class:`~repro.core.types.Corpus` is adopted).
+            n_shards: Number of shards (>= 1). Shards may end up empty
+                when the corpus is smaller than the shard count.
+            strategy: ``"range"`` or ``"hash"``.
+            seed: Hash seed (``"hash"`` strategy only).
+
+        Raises:
+            ConfigError: Bad shard count or unknown strategy.
+        """
+        if int(n_shards) < 1:
+            raise ConfigError("n_shards must be >= 1")
+        check_partition_args(strategy, seed)
+        if not isinstance(corpus, Corpus):
+            corpus = Corpus(corpus)
+        n_shards = int(n_shards)
+        n = len(corpus)
+        if strategy == "range":
+            bounds = np.linspace(0, n, n_shards + 1).astype(np.int64)
+            assignments = [np.arange(bounds[s], bounds[s + 1], dtype=ID_DTYPE) for s in range(n_shards)]
+        else:
+            shard_of = _hash_ids(np.arange(n, dtype=ID_DTYPE), seed) % np.uint64(n_shards)
+            assignments = [
+                np.nonzero(shard_of == np.uint64(s))[0].astype(ID_DTYPE) for s in range(n_shards)
+            ]
+        shards = [
+            ShardSlice(
+                position=s,
+                corpus=Corpus([corpus.keyword_arrays[int(g)] for g in global_ids]),
+                global_ids=global_ids,
+            )
+            for s, global_ids in enumerate(assignments)
+        ]
+        return cls(shards, strategy, n)
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards (including any empty ones)."""
+        return len(self.shards)
+
+    def sizes(self) -> list[int]:
+        """Objects per shard, in position order."""
+        return [len(shard) for shard in self.shards]
+
+    def entries(self) -> list[int]:
+        """Index entries (object, keyword pairs) per shard — scan work."""
+        return [shard.corpus.total_entries for shard in self.shards]
+
+    def size_imbalance(self) -> float:
+        """``max / mean`` of per-shard entry counts (1.0 = balanced).
+
+        Returns 0.0 for an empty corpus.
+        """
+        entries = self.entries()
+        mean = sum(entries) / max(1, len(entries))
+        return max(entries) / mean if mean > 0 else 0.0
+
+    def validate(self) -> None:
+        """Check the shards partition the global id space exactly once.
+
+        Raises:
+            ConfigError: Ids missing, duplicated, or out of range.
+        """
+        covered = (
+            np.concatenate([s.global_ids for s in self.shards])
+            if self.shards
+            else np.empty(0, dtype=ID_DTYPE)
+        )
+        expected = np.arange(self.n_objects, dtype=ID_DTYPE)
+        if not np.array_equal(np.sort(covered), expected):
+            raise ConfigError("shard plan does not partition the corpus exactly once")
+        for shard in self.shards:
+            if len(shard.corpus) != shard.global_ids.size:
+                raise ConfigError(f"shard {shard.position} corpus/global_ids misaligned")

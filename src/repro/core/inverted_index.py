@@ -24,6 +24,8 @@ a thin compatibility layer on top of the CSR arrays.
 
 from __future__ import annotations
 
+from types import MappingProxyType
+
 import numpy as np
 
 from repro.core.load_balance import LoadBalanceConfig
@@ -78,7 +80,7 @@ class InvertedIndex:
         self.load_balance = load_balance
         self.build_ops = float(build_ops)
         self._kw_lookup = self._build_dense_lookup(self.keyword_array)
-        self._position_map_cache: dict[int, list[tuple[int, int]]] | None = None
+        self._position_map_cache: dict[int, tuple[tuple[int, int], ...]] | None = None
         self._list_array32: np.ndarray | None = None
 
     # ------------------------------------------------------------------
@@ -213,33 +215,44 @@ class InvertedIndex:
         return int((self.span_ends - self.span_starts).max())
 
     @property
-    def _position_map(self) -> dict[int, list[tuple[int, int]]]:
-        """The dict view of the CSR position map, built once on demand.
+    def _position_map(self):
+        """A read-only dict view of the CSR position map, built on demand.
 
         Scalar per-keyword lookups (this compat API, the CPU baselines) are
         faster through a dict than through tiny numpy calls; the dict is
-        derived from the CSR arrays the first time it is needed.
+        derived from the CSR arrays the first time it is needed. The view
+        is a :class:`types.MappingProxyType` over tuple-valued entries, so
+        no caller can mutate the cache and desynchronize it from the CSR
+        truth; :meth:`spans_for_keyword` hands out fresh lists for the
+        same reason.
         """
+        return MappingProxyType(self._position_map_dict())
+
+    def _position_map_dict(self) -> dict[int, tuple[tuple[int, int], ...]]:
         if self._position_map_cache is None:
             offsets = self.kw_span_offsets.tolist()
             starts = self.span_starts.tolist()
             ends = self.span_ends.tolist()
             self._position_map_cache = {
-                int(kw): list(zip(starts[offsets[i] : offsets[i + 1]], ends[offsets[i] : offsets[i + 1]]))
+                int(kw): tuple(zip(starts[offsets[i] : offsets[i + 1]], ends[offsets[i] : offsets[i + 1]]))
                 for i, kw in enumerate(self.keyword_array.tolist())
             }
         return self._position_map_cache
 
     def spans_for_keyword(self, keyword: int) -> list[tuple[int, int]]:
-        """Sublist spans for one keyword (empty if it has no postings)."""
-        return self._position_map.get(int(keyword), [])
+        """Sublist spans for one keyword (empty if it has no postings).
+
+        The list is a fresh copy on every call — mutating it cannot
+        corrupt later lookups.
+        """
+        return list(self._position_map_dict().get(int(keyword), ()))
 
     def spans_for_keywords(self, keywords: np.ndarray) -> list[tuple[int, int]]:
-        """Concatenated spans for an array of keywords."""
-        position_map = self._position_map
+        """Concatenated spans for an array of keywords (a fresh list)."""
+        position_map = self._position_map_dict()
         spans: list[tuple[int, int]] = []
         for kw in np.asarray(keywords).reshape(-1).tolist():
-            spans.extend(position_map.get(int(kw), []))
+            spans.extend(position_map.get(int(kw), ()))
         return spans
 
     def postings_for_keyword(self, keyword: int) -> np.ndarray:

@@ -11,21 +11,32 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ConfigError
+
 #: Percentiles reported by :meth:`ServeMetrics.snapshot`.
 REPORTED_PERCENTILES = (50.0, 95.0, 99.0)
 
 
 def percentile_nearest_rank(values, p: float) -> float:
-    """Nearest-rank percentile ``p`` (0 < p <= 100) of ``values``.
+    """Nearest-rank percentile ``p`` of ``values``.
 
     Returns ``0.0`` for an empty population (a server that has completed
     nothing has no latency yet).
+
+    Raises:
+        ConfigError: Unless ``0 < p <= 100`` — ``p <= 0`` would silently
+            underflow to the minimum and ``p > 100`` would index past the
+            end of the population.
     """
+    p = float(p)
+    if not 0.0 < p <= 100.0:
+        raise ConfigError(f"percentile must be in (0, 100], got {p}")
     if len(values) == 0:
         return 0.0
     ordered = np.sort(np.asarray(values, dtype=np.float64))
+    # ceil of a positive fraction of a positive size is in [1, size].
     rank = int(np.ceil(p / 100.0 * ordered.size))
-    return float(ordered[max(rank, 1) - 1])
+    return float(ordered[rank - 1])
 
 
 class ServeMetrics:
@@ -41,6 +52,12 @@ class ServeMetrics:
         batch_sizes: Histogram ``{batch_size: count}``.
         swap_ins / evictions: Residency events caused by dispatched batches.
         busy_seconds: Simulated device-service time consumed by batches.
+            For sharded batches this is the *critical path* (the shards
+            run concurrently); per-shard work is in ``shard_busy_seconds``.
+        shard_busy_seconds: Per shard position, simulated seconds that
+            shard's device spent on dispatched batches (sharded indexes
+            only; empty otherwise).
+        sharded_batches: Dispatched batches that ran on a sharded index.
     """
 
     def __init__(self):
@@ -55,6 +72,8 @@ class ServeMetrics:
         self.swap_ins = 0
         self.evictions = 0
         self.busy_seconds = 0.0
+        self.shard_busy_seconds: dict[int, float] = {}
+        self.sharded_batches = 0
         self.first_arrival: float | None = None
         self.last_completion: float | None = None
         self._latencies: list[float] = []
@@ -77,13 +96,35 @@ class ServeMetrics:
         if self.last_completion is None or completed_at > self.last_completion:
             self.last_completion = completed_at
 
-    def record_batch(self, size: int, service_seconds: float, swap_ins: int, evictions: int) -> None:
-        """Note one dispatched batch and its residency side effects."""
+    def record_batch(
+        self,
+        size: int,
+        service_seconds: float,
+        swap_ins: int,
+        evictions: int,
+        shard_seconds: list[float] | None = None,
+    ) -> None:
+        """Note one dispatched batch and its residency side effects.
+
+        Args:
+            size: Requests coalesced into the batch.
+            service_seconds: The batch's simulated service time (for a
+                sharded index: the concurrent critical path).
+            swap_ins / evictions: Residency events the batch caused.
+            shard_seconds: Per-shard device seconds when the batch ran on
+                a sharded index, in shard order.
+        """
         self.batches += 1
         self.batch_sizes[size] = self.batch_sizes.get(size, 0) + 1
         self.busy_seconds += float(service_seconds)
         self.swap_ins += int(swap_ins)
         self.evictions += int(evictions)
+        if shard_seconds is not None:
+            self.sharded_batches += 1
+            for shard, seconds in enumerate(shard_seconds):
+                self.shard_busy_seconds[shard] = (
+                    self.shard_busy_seconds.get(shard, 0.0) + float(seconds)
+                )
 
     # ------------------------------------------------------------------
     # derived views
@@ -97,7 +138,12 @@ class ServeMetrics:
 
     @property
     def throughput(self) -> float:
-        """Completed requests per simulated second over the elapsed window."""
+        """Completed requests per simulated second over the elapsed window.
+
+        A zero-length window — a single request, or a run answered
+        entirely from cache at one instant — reports ``0.0`` instead of
+        dividing by zero.
+        """
         elapsed = self.elapsed_seconds
         return self.completed / elapsed if elapsed > 0 else 0.0
 
@@ -106,6 +152,21 @@ class ServeMetrics:
         """Average requests per dispatched batch."""
         total = sum(size * count for size, count in self.batch_sizes.items())
         return total / self.batches if self.batches else 0.0
+
+    @property
+    def shard_imbalance(self) -> float:
+        """``max / mean`` of per-shard busy seconds (1.0 = balanced).
+
+        The load-imbalance figure of merit for sharded serving (Fig. 12's
+        skew story at the cluster level): how much longer the hottest
+        shard worked than the average shard. ``0.0`` when no sharded
+        batch has been dispatched.
+        """
+        if not self.shard_busy_seconds:
+            return 0.0
+        busy = list(self.shard_busy_seconds.values())
+        mean = sum(busy) / len(busy)
+        return max(busy) / mean if mean > 0 else 0.0
 
     def latency(self, p: float) -> float:
         """Nearest-rank latency percentile over completed requests."""
@@ -134,6 +195,9 @@ class ServeMetrics:
             "swap_ins": self.swap_ins,
             "evictions": self.evictions,
             "busy_seconds": self.busy_seconds,
+            "sharded_batches": self.sharded_batches,
+            "shard_busy_seconds": dict(sorted(self.shard_busy_seconds.items())),
+            "shard_imbalance": self.shard_imbalance,
             "elapsed_seconds": self.elapsed_seconds,
             "throughput_qps": self.throughput,
         }

@@ -310,9 +310,30 @@ class GenieServer:
     def pump(self) -> int:
         """Dispatch every batch that is ready now; returns batches run."""
         batches = self.scheduler.pop_ready(self.clock.now())
-        for index, requests in batches:
-            self._dispatch(index, requests)
+        self._dispatch_all(batches)
         return len(batches)
+
+    def _dispatch_all(self, batches) -> None:
+        """Dispatch popped batches; never strand a popped request.
+
+        The scheduler pops a whole pass of batches eagerly. If one batch
+        raises a non-:class:`~repro.errors.ReproError` (which
+        :meth:`_dispatch` re-raises after failing its own futures), the
+        remaining popped batches can no longer be served by a retry —
+        they are not queued anymore — so their futures are failed with
+        the same error before it propagates.
+        """
+        for position, (index, requests) in enumerate(batches):
+            try:
+                self._dispatch(index, requests)
+            except BaseException as error:
+                now = self.clock.now()
+                for _, remaining in batches[position + 1 :]:
+                    self.metrics.failed += len(remaining)
+                    for request in remaining:
+                        request.future.metadata.dispatched = now
+                        request.future._fail(error)
+                raise
 
     def next_deadline(self) -> float | None:
         """Earliest queued ``max_wait`` deadline (drivers advance to it)."""
@@ -340,20 +361,23 @@ class GenieServer:
     def drain(self) -> None:
         """Serve everything queued now, ignoring batching deadlines."""
         while self.scheduler.depth:
-            for index, requests in self.scheduler.pop_all(self.clock.now()):
-                self._dispatch(index, requests)
+            self._dispatch_all(self.scheduler.pop_all(self.clock.now()))
 
     def close(self) -> None:
-        """Graceful shutdown: drain queued requests, refuse new ones.
+        """Graceful shutdown: refuse new requests, drain what is queued.
 
         Idempotent; the underlying session stays open (it belongs to the
         caller). Subsequent :meth:`submit` calls raise
-        :class:`ConfigError`.
+        :class:`ConfigError`. The closed flag is set *before* the drain:
+        if a queued batch raises a non-:class:`~repro.errors.ReproError`
+        during the drain (those fail only their own futures), the error
+        propagates but the server stays closed instead of silently
+        continuing to admit requests.
         """
         if self._closed:
             return
-        self.drain()
         self._closed = True
+        self.drain()
 
     @property
     def closed(self) -> bool:
@@ -397,11 +421,28 @@ class GenieServer:
                 request.future.metadata.dispatched = now
                 request.future._fail(error)
             return
+        except BaseException as error:
+            # Unexpected (non-Repro) errors propagate to the driver, but
+            # the requests were already popped from the scheduler — their
+            # futures must still resolve (with the error), never strand.
+            self.metrics.failed += len(requests)
+            for request in requests:
+                request.future.metadata.dispatched = now
+                request.future._fail(error)
+            raise
+        # For a sharded index the profile is already the concurrent
+        # critical path (slowest shard + merge), so the shard scans of one
+        # batch overlap in simulated time; per-shard work feeds the
+        # imbalance counters.
         service = result.profile.query_total()
         completed = start + service
         self._device_free = completed
+        shard_profiles = result.shard_profiles
         self.metrics.record_batch(
-            len(requests), service, result.swapped_in, len(result.evicted)
+            len(requests), service, result.swapped_in, len(result.evicted),
+            shard_seconds=[p.query_total() for p in shard_profiles]
+            if shard_profiles
+            else None,
         )
         payload_list = result.payload if isinstance(result.payload, list) else None
         for i, request in enumerate(requests):

@@ -1,0 +1,108 @@
+"""Tests for ShardPlan: partitioning, id maps, determinism, validation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import PARTITION_STRATEGIES, ShardPlan
+from repro.core.types import Corpus
+from repro.errors import ConfigError
+
+
+def _corpus(n=20, seed=0):
+    rng = np.random.default_rng(seed)
+    return Corpus([rng.integers(0, 30, size=rng.integers(1, 6)) for _ in range(n)])
+
+
+class TestBuild:
+    @pytest.mark.parametrize("strategy", PARTITION_STRATEGIES)
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 7, 25])
+    def test_partitions_exactly_once(self, strategy, n_shards):
+        corpus = _corpus(n=20)
+        plan = ShardPlan.build(corpus, n_shards, strategy=strategy)
+        plan.validate()
+        assert plan.n_shards == n_shards
+        assert sum(plan.sizes()) == len(corpus)
+
+    def test_range_shards_are_contiguous_and_balanced(self):
+        plan = ShardPlan.build(_corpus(n=10), 4, strategy="range")
+        for shard in plan.shards:
+            ids = shard.global_ids
+            assert np.array_equal(ids, np.arange(ids[0], ids[0] + ids.size))
+        sizes = plan.sizes()
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_global_ids_sorted_ascending(self):
+        for strategy in PARTITION_STRATEGIES:
+            plan = ShardPlan.build(_corpus(n=40), 5, strategy=strategy)
+            for shard in plan.shards:
+                assert np.all(np.diff(shard.global_ids) > 0) or shard.global_ids.size <= 1
+
+    def test_shard_corpora_match_global_objects(self):
+        corpus = _corpus(n=30)
+        plan = ShardPlan.build(corpus, 3, strategy="hash", seed=5)
+        for shard in plan.shards:
+            for local, global_id in enumerate(shard.global_ids):
+                assert np.array_equal(
+                    shard.corpus.keyword_arrays[local],
+                    np.unique(corpus.keyword_arrays[int(global_id)]),
+                )
+
+    def test_hash_partition_is_deterministic_per_seed(self):
+        corpus = _corpus(n=50)
+        a = ShardPlan.build(corpus, 4, strategy="hash", seed=1)
+        b = ShardPlan.build(corpus, 4, strategy="hash", seed=1)
+        c = ShardPlan.build(corpus, 4, strategy="hash", seed=2)
+        for sa, sb in zip(a.shards, b.shards):
+            assert np.array_equal(sa.global_ids, sb.global_ids)
+        assert any(
+            not np.array_equal(sa.global_ids, sc.global_ids)
+            for sa, sc in zip(a.shards, c.shards)
+        )
+
+    def test_more_shards_than_objects_leaves_empty_shards(self):
+        plan = ShardPlan.build(_corpus(n=3), 8, strategy="range")
+        plan.validate()
+        assert sum(plan.sizes()) == 3
+        assert plan.n_shards == 8
+
+    def test_raw_object_lists_are_adopted(self):
+        plan = ShardPlan.build([[1, 2], [3]], 2)
+        plan.validate()
+        assert plan.n_objects == 2
+
+
+class TestValidationAndStats:
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(ConfigError, match="n_shards"):
+            ShardPlan.build(_corpus(), 0)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigError, match="unknown shard strategy"):
+            ShardPlan.build(_corpus(), 2, strategy="modulo")
+
+    @pytest.mark.parametrize("seed", [-1, 2**64])
+    def test_out_of_range_seed_rejected(self, seed):
+        # np.uint64(seed) would raise a raw OverflowError deep in the mix.
+        with pytest.raises(ConfigError, match="seed must fit in 64 bits"):
+            ShardPlan.build(_corpus(), 2, strategy="hash", seed=seed)
+
+    def test_max_valid_seed_accepted(self):
+        ShardPlan.build(_corpus(), 2, strategy="hash", seed=2**64 - 1).validate()
+
+    def test_validate_catches_broken_partition(self):
+        plan = ShardPlan.build(_corpus(n=10), 2)
+        plan.shards[0].global_ids = plan.shards[0].global_ids + 1  # overlap + gap
+        with pytest.raises(ConfigError, match="partition"):
+            plan.validate()
+
+    def test_entries_and_imbalance(self):
+        # All heavy objects first: range splits them unevenly, hash evens out.
+        objects = [list(range(12)) for _ in range(10)] + [[0] for _ in range(10)]
+        range_plan = ShardPlan.build(objects, 2, strategy="range")
+        hash_plan = ShardPlan.build(objects, 2, strategy="hash", seed=0)
+        assert sum(range_plan.entries()) == sum(hash_plan.entries())
+        assert range_plan.size_imbalance() > hash_plan.size_imbalance()
+
+    def test_empty_corpus_imbalance_is_zero(self):
+        plan = ShardPlan.build(Corpus([]), 2)
+        assert plan.size_imbalance() == 0.0

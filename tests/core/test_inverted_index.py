@@ -36,6 +36,46 @@ class TestBasicLookups:
         _index([[1, 2, 3], [2, 4]]).validate()
 
 
+class TestPositionMapImmutability:
+    def test_mutating_returned_spans_cannot_corrupt_lookups(self):
+        index = _index([[1, 2], [2, 3], [2]])
+        truth = index.spans_for_keyword(2)
+        stolen = index.spans_for_keyword(2)
+        stolen.clear()
+        stolen.append((999, 1000))
+        assert index.spans_for_keyword(2) == truth
+        assert index.postings_for_keyword(2).tolist() == [0, 1, 2]
+
+    def test_mutating_spans_for_keywords_result_is_harmless(self):
+        index = _index([[1], [2], [1, 2]])
+        spans = index.spans_for_keywords(np.array([1, 2]))
+        truth = list(spans)
+        spans.reverse()
+        spans.append((5, 6))
+        assert index.spans_for_keywords(np.array([1, 2])) == truth
+
+    def test_position_map_view_is_read_only(self):
+        index = _index([[1, 2], [2]])
+        view = index._position_map
+        with pytest.raises(TypeError):
+            view[2] = [(0, 1)]
+        with pytest.raises(TypeError):
+            del view[2]
+        # Values are tuples: in-place mutation is impossible too.
+        assert all(isinstance(spans, tuple) for spans in view.values())
+
+    def test_spans_agree_with_csr_truth_after_mutation_attempts(self):
+        index = _index([[k] for k in [7] * 10 + [8] * 3], lb=LoadBalanceConfig(max_sublist_len=4))
+        index.spans_for_keyword(7).append((0, 0))  # discarded copy
+        rows, found = index.keyword_rows(np.array([7]))
+        assert found.all()
+        span_rows, _ = index.span_rows_for_keyword_rows(rows)
+        csr_spans = [
+            (int(index.span_starts[r]), int(index.span_ends[r])) for r in span_rows
+        ]
+        assert index.spans_for_keyword(7) == csr_spans
+
+
 class TestLoadBalance:
     def test_long_list_is_split(self):
         objects = [[7] for _ in range(100)]

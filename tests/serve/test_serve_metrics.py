@@ -1,0 +1,103 @@
+"""Tests for ServeMetrics: percentile bounds, zero-window throughput, shards."""
+
+import numpy as np
+import pytest
+
+from repro.api import GenieSession
+from repro.errors import ConfigError
+from repro.serve import BatchPolicy, GenieServer, ServeMetrics, percentile_nearest_rank
+
+
+def _docs(n=40):
+    words = ["gpu", "index", "search", "fast", "cat", "dog", "tree", "blue",
+             "red", "green", "warp", "batch", "queue", "cache", "merge", "scan"]
+    rng = np.random.default_rng(0)
+    return [" ".join(rng.choice(words, size=4, replace=False)) for _ in range(n)]
+
+
+DOCS = _docs()
+
+
+def make_server(policy=None, **kwargs):
+    session = GenieSession()
+    session.create_index(DOCS, model="document", name="tweets")
+    kwargs.setdefault("cache_size", None)
+    return GenieServer(session, policy=policy, **kwargs)
+
+
+class TestPercentileNearestRank:
+    def test_nearest_rank_values(self):
+        values = [4.0, 1.0, 3.0, 2.0]
+        assert percentile_nearest_rank(values, 25.0) == 1.0
+        assert percentile_nearest_rank(values, 50.0) == 2.0
+        assert percentile_nearest_rank(values, 75.0) == 3.0
+        assert percentile_nearest_rank(values, 100.0) == 4.0
+
+    def test_tiny_p_is_the_minimum_not_an_underflow(self):
+        assert percentile_nearest_rank([5.0, 7.0, 9.0], 1e-9) == 5.0
+
+    def test_empty_population_is_zero(self):
+        assert percentile_nearest_rank([], 50.0) == 0.0
+
+    @pytest.mark.parametrize("p", [0.0, -1.0, -50.0, 100.0001, 200.0])
+    def test_out_of_range_p_rejected(self, p):
+        # p <= 0 used to be masked by a rank clamp (silently returning the
+        # minimum) and p > 100 indexed past the population.
+        with pytest.raises(ConfigError, match="percentile must be in"):
+            percentile_nearest_rank([1.0, 2.0, 3.0], p)
+
+    def test_out_of_range_p_rejected_even_for_empty_population(self):
+        with pytest.raises(ConfigError, match="percentile must be in"):
+            percentile_nearest_rank([], 200.0)
+
+
+class TestZeroLengthWindow:
+    def test_single_instant_completion_reports_zero_throughput(self):
+        # One request admitted and completed at the same simulated instant:
+        # the first_arrival -> last_completion window has zero length, and
+        # the snapshot must report 0.0, not raise or return inf.
+        metrics = ServeMetrics()
+        metrics.record_arrival(5.0)
+        metrics.record_completion(0.0, 0.0, 5.0)
+        snap = metrics.snapshot()
+        assert snap["completed"] == 1
+        assert snap["throughput_qps"] == 0.0
+        assert snap["elapsed_seconds"] == 0.0
+
+    def test_empty_metrics_snapshot_is_all_zero(self):
+        snap = ServeMetrics().snapshot()
+        assert snap["throughput_qps"] == 0.0
+        assert snap["latency_p50"] == 0.0
+
+    def test_all_cache_hit_run_reports_zero_throughput(self):
+        # Prime the cache, then reset the metrics so the only recorded
+        # traffic is a cache hit answered at one instant.
+        server = make_server(BatchPolicy.fifo(), cache_size=16)
+        server.submit("tweets", DOCS[0], k=3)
+        server.drain()
+        server.metrics = ServeMetrics()
+        future = server.submit("tweets", DOCS[0], k=3)
+        assert future.metadata.cache_hit
+        snap = server.snapshot()
+        assert snap["completed"] == 1
+        assert snap["throughput_qps"] == 0.0
+
+
+class TestShardCounters:
+    def test_shard_busy_accumulates_and_imbalance(self):
+        metrics = ServeMetrics()
+        metrics.record_batch(4, 3.0, 0, 0, shard_seconds=[3.0, 1.0])
+        metrics.record_batch(4, 3.0, 0, 0, shard_seconds=[3.0, 1.0])
+        assert metrics.shard_busy_seconds == {0: 6.0, 1: 2.0}
+        assert metrics.sharded_batches == 2
+        # max busy 6.0 over mean 4.0
+        assert metrics.shard_imbalance == pytest.approx(1.5)
+
+    def test_unsharded_batches_leave_shard_counters_empty(self):
+        metrics = ServeMetrics()
+        metrics.record_batch(4, 3.0, 1, 2)
+        assert metrics.shard_busy_seconds == {}
+        assert metrics.shard_imbalance == 0.0
+        snap = metrics.snapshot()
+        assert snap["sharded_batches"] == 0
+        assert snap["shard_busy_seconds"] == {}

@@ -201,6 +201,53 @@ class TestLifecycle:
             future.result()
         assert server.snapshot()["failed"] == 1
 
+    def test_close_after_failing_batch_leaves_server_closed(self):
+        # A non-ReproError escaping a batch during close()'s drain must
+        # not leave the server open and admitting requests: the closed
+        # flag is set before the drain.
+        server = make_server(BatchPolicy.micro(max_batch=64, max_wait=100.0))
+        future = server.submit("tweets", DOCS[0], k=2)
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("batch blew up")
+
+        server.session.index("tweets").search_encoded = explode
+        with pytest.raises(RuntimeError, match="batch blew up"):
+            server.close()
+        assert server.closed
+        with pytest.raises(ConfigError, match="server is closed"):
+            server.submit("tweets", DOCS[1], k=2)
+        # The popped request's future is failed, never stranded pending.
+        assert future.done()
+        with pytest.raises(RuntimeError, match="batch blew up"):
+            future.result()
+        assert server.snapshot()["failed"] == 1
+
+    def test_failing_batch_never_strands_sibling_batches(self):
+        # A dispatch pass pops every ready batch eagerly; if one raises a
+        # non-ReproError, sibling batches can no longer be retried (they
+        # are no longer queued), so their futures must fail too.
+        session = GenieSession()
+        session.create_index(DOCS[:20], model="document", name="a")
+        session.create_index(DOCS[20:], model="document", name="b")
+        server = GenieServer(session, policy=BatchPolicy.micro(max_batch=64, max_wait=100.0),
+                             cache_size=None)
+        futures = [server.submit("a", DOCS[0], k=2), server.submit("b", DOCS[21], k=2)]
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("batch blew up")
+
+        session.index("a").search_encoded = explode
+        session.index("b").search_encoded = explode
+        with pytest.raises(RuntimeError, match="batch blew up"):
+            server.drain()
+        assert all(future.done() for future in futures)
+        for future in futures:
+            with pytest.raises(RuntimeError, match="batch blew up"):
+                future.result()
+        assert server.depth == 0
+        assert server.snapshot()["failed"] == 2
+
     def test_session_failure_fails_futures_not_server(self):
         server = make_server(BatchPolicy.micro(max_batch=64, max_wait=100.0))
         future = server.submit("tweets", DOCS[0], k=2)
