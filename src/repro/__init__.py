@@ -9,6 +9,8 @@ GPU" (ICDE 2018). Subpackages:
   caching, metrics) over a session,
 * :mod:`repro.cluster` — sharded execution across N simulated devices
   (range/hash partitioning, concurrent shard scans, exact merge),
+* :mod:`repro.plan` — the query planner every search lowers through
+  (explainable plan IR, shard pruning, two-round TPUT merge, elision),
 * :mod:`repro.gpu` — the simulated GPU/CPU substrate,
 * :mod:`repro.core` — match-count model, inverted index, c-PQ, engine,
 * :mod:`repro.lsh` — LSH families, re-hashing, tau-ANN search,

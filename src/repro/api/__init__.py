@@ -50,6 +50,11 @@ Quickstart::
     result[0].as_pairs()        # [(doc_id, shared words), ...]
     result.profile.query_total()  # simulated seconds, per stage inside
 
+Every search compiles to an explicit plan (:mod:`repro.plan`):
+``handle.explain(raw_queries, k=...)`` renders it without executing, and
+``search(..., route=..., plan=...)`` forces a routing/merge strategy with
+bit-identical results.
+
 Deprecation path: the legacy wrappers — ``repro.sa.RelationalIndex``,
 ``repro.sa.DocumentIndex``, ``repro.sa.SequenceIndex``,
 ``repro.lsh.TauAnnIndex`` and ``repro.core.MultiLoadGenie`` — remain as

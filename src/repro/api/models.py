@@ -165,6 +165,35 @@ def resolve_model(model, **model_kwargs) -> MatchModel:
     return model
 
 
+def resolve_shortlist_k(model, k: int, search_opts: dict) -> int:
+    """Resolve a model's retrieval width for a user-facing ``k``.
+
+    The one shared implementation for every execution surface: the
+    session's search compiles with the width it returns, and the server
+    calls it at admission so bad options fail the submitting request
+    instead of a coalesced batch. Models with a ``shortlist_k`` hook
+    widen the retrieval (and validate their options); models without one
+    retrieve exactly ``k`` and accept no options.
+
+    Args:
+        model: A :class:`MatchModel` (hooks are optional, so the protocol
+            minimum is enough).
+        k: User-facing result width.
+        search_opts: Model-specific search options (e.g. the sequence
+            model's ``n_candidates``).
+
+    Raises:
+        QueryError: Options passed to a model without a ``shortlist_k``
+            hook, or rejected by the hook itself.
+    """
+    shortlist = getattr(model, "shortlist_k", None)
+    if shortlist is None:
+        if search_opts:
+            raise QueryError(f"unsupported search options: {sorted(search_opts)}")
+        return int(k)
+    return int(shortlist(k, **search_opts))
+
+
 # ----------------------------------------------------------------------
 # raw keywords
 

@@ -33,7 +33,7 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.api.models import MatchModel, resolve_model
+from repro.api.models import MatchModel, resolve_model, resolve_shortlist_k
 from repro.core.engine import GenieConfig, GenieEngine
 from repro.core.inverted_index import InvertedIndex
 from repro.core.types import ID_DTYPE, Corpus, Query, TopKResult
@@ -41,6 +41,9 @@ from repro.errors import ConfigError, GpuOutOfMemoryError, QueryError
 from repro.gpu.device import Device
 from repro.gpu.host import HostCpu
 from repro.gpu.stats import StageTimings, timings_delta
+from repro.plan.executor import execute_plan
+from repro.plan.nodes import PlanNode, RoutingSummary
+from repro.plan.planner import ShardContext, compile_search
 
 
 @dataclass(frozen=True)
@@ -130,7 +133,13 @@ class SearchResult:
         shard_profiles: Per-shard stage profiles when the search ran on a
             sharded index (``profile`` is then the concurrent critical
             path — slowest shard plus the host merge); ``None`` for
-            unsharded indexes.
+            unsharded indexes. Shards the plan pruned entirely report an
+            empty profile.
+        plan: The logical plan the search executed (see
+            :mod:`repro.plan`); render it with ``result.plan.render()``.
+        routing: Scan/prune pair accounting for sharded plans
+            (:class:`~repro.plan.nodes.RoutingSummary`); ``None`` for
+            serial plans.
     """
 
     results: list[TopKResult]
@@ -139,6 +148,8 @@ class SearchResult:
     evicted: tuple[ResidencyEvent, ...] = ()
     swapped_in: int = 0
     shard_profiles: tuple[StageTimings, ...] | None = None
+    plan: PlanNode | None = None
+    routing: RoutingSummary | None = None
 
     @property
     def ids(self) -> list[np.ndarray]:
@@ -647,9 +658,16 @@ class IndexHandle:
         raw_queries,
         k: int | None = None,
         batch_size: int | None = None,
+        route: str | None = None,
+        plan: str | None = None,
         **search_opts,
     ) -> SearchResult:
-        """Encode, retrieve (over all parts), merge, verify.
+        """Encode, compile a plan, retrieve (over all parts), merge, verify.
+
+        Every search lowers through the rule-based planner
+        (:mod:`repro.plan`): skip-empty queries are elided from the scan,
+        range-sharded indexes are shard-pruned, and the merge strategy is
+        explicit. :meth:`explain` shows the plan without executing it.
 
         Args:
             raw_queries: Queries in the model's raw format (texts, points,
@@ -657,14 +675,25 @@ class IndexHandle:
             k: Results per query (engine config default when omitted).
             batch_size: Split the workload into device-sized sub-batches
                 (Fig. 11's protocol); one batch when ``None``.
+            route: Routing escape hatch for sharded indexes — ``"auto"``
+                (default: prune ``"range"`` partitions), ``"pruned"``
+                (force pruning, any strategy), ``"broadcast"`` (scan
+                every shard).
+            plan: Merge-strategy escape hatch for sharded indexes —
+                ``"auto"``/``"one-round"`` (each shard returns its full
+                top-k) or ``"two-round"`` (the TPUT merge: fetch
+                ``ceil(2k/N)`` per shard, top up only where necessary).
             search_opts: Model-specific options (e.g. the sequence model's
                 ``n_candidates`` shortlist width).
 
         Returns:
-            A :class:`SearchResult` aligned with ``raw_queries``.
+            A :class:`SearchResult` aligned with ``raw_queries``; its
+            ``plan`` holds the executed plan tree. Results are
+            bit-identical under every ``route``/``plan`` choice.
 
         Raises:
-            QueryError: Unfitted index, malformed queries, or bad ``k``.
+            QueryError: Unfitted index, malformed queries, bad ``k``, or
+                a shard-only strategy forced on a serial index.
         """
         self.session._check_open()
         if not self._parts:
@@ -674,7 +703,54 @@ class IndexHandle:
             raise QueryError("empty query batch")
         queries = self.encode_queries(raw_queries)
         return self.search_encoded(
-            raw_queries, queries, k=k, batch_size=batch_size, **search_opts
+            raw_queries, queries, k=k, batch_size=batch_size,
+            route=route, plan=plan, **search_opts,
+        )
+
+    def explain(
+        self,
+        raw_queries,
+        k: int | None = None,
+        route: str | None = None,
+        plan: str | None = None,
+        **search_opts,
+    ) -> PlanNode:
+        """Compile the plan :meth:`search` would execute, without running it.
+
+        Same arguments and validation as :meth:`search` (the queries are
+        encoded — routing decisions need their keywords), but no device
+        work happens and no state changes. The returned
+        :class:`~repro.plan.nodes.PlanNode` renders to a stable text tree
+        via ``render()`` / ``str()``.
+        """
+        # The open/fitted checks must precede the encode (an unfitted
+        # model has no vocabulary/discretizers to encode against);
+        # everything else is _compile's, shared with search_encoded.
+        self.session._check_open()
+        if not self._parts:
+            raise QueryError("index must be fitted before searching")
+        queries = self.encode_queries(list(raw_queries))
+        _, compiled = self._compile(queries, k, route, plan, search_opts)
+        return compiled.root
+
+    def _compile(self, queries, k, route, plan, search_opts):
+        """Shared search preamble: validation + plan compilation.
+
+        Both :meth:`search_encoded` and :meth:`explain` funnel through
+        here, so an explained plan always reflects exactly what a search
+        with the same arguments would validate and execute.
+        """
+        self.session._check_open()
+        if not self._parts:
+            raise QueryError("index must be fitted before searching")
+        if not queries:
+            raise QueryError("empty query batch")
+        k = int(k if k is not None else self.config.k)
+        if k < 1:
+            raise QueryError("k must be >= 1")
+        retrieval_k = resolve_shortlist_k(self.model, k, search_opts)
+        return k, compile_search(
+            self, queries, k=k, retrieval_k=retrieval_k, route=route, plan=plan
         )
 
     def encode_queries(self, raw_queries) -> list[Query]:
@@ -698,47 +774,41 @@ class IndexHandle:
         queries: list[Query],
         k: int | None = None,
         batch_size: int | None = None,
+        route: str | None = None,
+        plan: str | None = None,
         **search_opts,
     ) -> SearchResult:
         """Retrieve/merge/verify pre-encoded queries (see :meth:`search`).
 
         ``raw_queries`` must align with ``queries`` (models' ``finalize``
         hooks verify against the raw form, e.g. sequence edit distance).
+
+        This is the single execution surface: the batch is compiled by
+        :func:`repro.plan.planner.compile_search` and run by
+        :func:`repro.plan.executor.execute_plan`, for serial and sharded
+        indexes alike (the serve layer's dispatch lands here too).
         """
-        self.session._check_open()
-        if not self._parts:
-            raise QueryError("index must be fitted before searching")
+        k, compiled = self._compile(queries, k, route, plan, search_opts)
         if len(raw_queries) != len(queries):
             raise QueryError("raw_queries and queries must align")
-        if not queries:
-            raise QueryError("empty query batch")
-        k = int(k if k is not None else self.config.k)
-        if k < 1:
-            raise QueryError("k must be >= 1")
-        shortlist = getattr(self.model, "shortlist_k", None)
-        retrieval_k = int(shortlist(k, **search_opts)) if shortlist is not None else k
-        if shortlist is None and search_opts:
-            raise QueryError(f"unsupported search options: {sorted(search_opts)}")
-
-        if getattr(self.model, "skip_empty", False):
-            active = [i for i, q in enumerate(queries) if q.num_items > 0]
-        else:
-            active = list(range(len(queries)))
-        active_queries = [queries[i] for i in active]
+        active_queries = [queries[i] for i in compiled.active]
 
         # A private sink observes this search's residency events exactly;
         # the session-level log is bounded and may drop older entries.
         events: list[ResidencyEvent] = []
         self.session._event_sinks.append(events)
         profile = StageTimings()
+        shard_profiles: list[StageTimings] | None = None
         try:
             if active_queries:
-                merged = self._run_parts(active_queries, retrieval_k, batch_size, profile)
+                merged, shard_profiles = execute_plan(
+                    compiled, self, active_queries, batch_size, profile
+                )
             else:
                 merged = []
         finally:
             self.session._event_sinks.remove(events)
-        results = self._scatter(merged, active, len(queries))
+        results = self._scatter(merged, compiled.active, len(queries))
 
         payload = None
         finalize = getattr(self.model, "finalize", None)
@@ -749,73 +819,27 @@ class IndexHandle:
             )
             profile.merge(timings_delta(host_before, self.session.host.timings))
 
+        if compiled.shards is not None and shard_profiles is None:
+            # Every query was skipped, so no shard ran — but a sharded
+            # result keeps the per-shard contract: one (empty) profile
+            # per shard, never ().
+            shard_profiles = [StageTimings() for _ in range(compiled.shards.n_shards)]
         result = SearchResult(
             results=results,
             profile=profile,
             payload=payload,
             evicted=tuple(ev for ev in events if ev.kind == "evict"),
             swapped_in=sum(1 for ev in events if ev.kind == "attach"),
+            shard_profiles=tuple(shard_profiles) if shard_profiles is not None else None,
+            plan=compiled.root,
+            routing=compiled.routing,
         )
         self.last_result = result
         return result
 
-    def _run_parts(
-        self,
-        queries: list[Query],
-        k: int,
-        batch_size: int | None,
-        profile: StageTimings,
-    ) -> list[TopKResult]:
-        device = self.session.device
-        if len(self._parts) == 1:
-            part = self._parts[0]
-            transfer_before = device.timings.get("index_transfer")
-            self.session._ensure_resident(part)
-            try:
-                results = self._query_engine(part.engine, queries, k, batch_size)
-            finally:
-                if self.swap_parts:
-                    self.session._evict_part(part)
-            profile.merge(part.engine.last_profile)
-            swap_seconds = device.timings.get("index_transfer") - transfer_before
-            if swap_seconds > 0:
-                profile.add("index_transfer", swap_seconds)
-            return results
-
-        # Multi-part: query each part, merge per query on the host
-        # (Fig. 6). Parts partition the objects, so an object's count is
-        # complete within its part and the merge is exact. The sharded
-        # merge (repro.cluster.executor.merge_shard_results) parallels
-        # this ordering deliberately — keep tie-order changes in sync.
-        merged_ids: list[list[np.ndarray]] = [[] for _ in queries]
-        merged_counts: list[list[np.ndarray]] = [[] for _ in queries]
-        for part in self._parts:
-            transfer_before = device.timings.get("index_transfer")
-            self.session._ensure_resident(part)
-            try:
-                part_results = self._query_engine(part.engine, queries, k, batch_size)
-            finally:
-                if self.swap_parts:
-                    self.session._evict_part(part)
-            profile.merge(part.engine.last_profile)
-            profile.add("index_transfer", device.timings.get("index_transfer") - transfer_before)
-            for qi, part_result in enumerate(part_results):
-                merged_ids[qi].append(part_result.ids + part.offset)
-                merged_counts[qi].append(part_result.counts)
-
-        results = []
-        merge_ops = 0.0
-        for qi in range(len(queries)):
-            ids = np.concatenate(merged_ids[qi]) if merged_ids[qi] else np.empty(0, dtype=ID_DTYPE)
-            counts = (
-                np.concatenate(merged_counts[qi]) if merged_counts[qi] else np.empty(0, dtype=ID_DTYPE)
-            )
-            order = np.lexsort((ids, -counts))[:k]
-            results.append(TopKResult(ids=ids[order], counts=counts[order]))
-            merge_ops += ids.size * max(1.0, np.log2(max(ids.size, 2)))
-        self.session.host.charge_ops(merge_ops, stage="result_merge")
-        profile.add("result_merge", merge_ops / self.session.host.spec.ops_per_second)
-        return results
+    def _plan_shards(self) -> ShardContext | None:
+        """Shard context for the planner; serial handles have none."""
+        return None
 
     @staticmethod
     def _query_engine(

@@ -43,6 +43,7 @@ import numpy as np
 
 from repro.api.session import IndexHandle, _IndexPart
 from repro.cluster.plan import ShardPlan, check_partition_args
+from repro.plan.planner import ShardContext
 from repro.core.engine import GenieConfig, GenieEngine
 from repro.core.inverted_index import InvertedIndex
 from repro.core.types import ID_DTYPE, Corpus, Query, TopKResult
@@ -79,13 +80,12 @@ def merge_shard_results(
         global-id-asc order, thresholds re-pinned to the global k-th
         count per Theorem 3.1) and the host seconds the merge cost.
 
-    This deliberately parallels the multi-loading merge in
-    :meth:`IndexHandle._run_parts <repro.api.session.IndexHandle._run_parts>`
-    rather than sharing code with it: the legacy merge keeps its
-    seed-pinned semantics (no threshold on merged results, a full
-    re-sort cost model), while shards remap through gather maps,
-    re-pin thresholds, and charge a heap merge. A tie-order change must
-    be applied to both.
+    This deliberately parallels the multi-loading merge in the plan
+    executor's serial path (:mod:`repro.plan.executor`) rather than
+    sharing code with it: the legacy merge keeps its seed-pinned
+    semantics (no threshold on merged results, a full re-sort cost
+    model), while shards remap through gather maps, re-pin thresholds,
+    and charge a heap merge. A tie-order change must be applied to both.
     """
     kk = min(k, int(n_objects)) if n_objects is not None else k
     results: list[TopKResult] = []
@@ -239,6 +239,15 @@ class ShardedIndexHandle(IndexHandle):
     profile slices in :attr:`SearchResult.shard_profiles
     <repro.api.session.SearchResult.shard_profiles>`; the result's main
     ``profile`` is the concurrent critical path (slowest shard + merge).
+
+    Execution lowers through the session's query planner
+    (:mod:`repro.plan`): this class only contributes the shard *context*
+    — partition strategy, per-shard keyword bounds (the routing table
+    shard pruning tests queries against), and the local→global id maps —
+    while the plan executor runs the routed scans, the one-round or
+    two-round-TPUT merge, and the critical-path profile. ``route=`` /
+    ``plan=`` on :meth:`~repro.api.session.IndexHandle.search` force a
+    strategy; results are bit-identical under all of them.
     """
 
     def __init__(
@@ -259,7 +268,7 @@ class ShardedIndexHandle(IndexHandle):
         self.shard_strategy = strategy
         self.shard_seed = int(seed)
         self.plan: ShardPlan | None = None
-        self._last_shard_profiles: list[StageTimings] = []
+        self._last_shard_profiles: tuple[StageTimings, ...] = ()
 
     # ------------------------------------------------------------------
     # introspection
@@ -271,8 +280,24 @@ class ShardedIndexHandle(IndexHandle):
 
     @property
     def shard_profiles(self) -> tuple[StageTimings, ...]:
-        """Per-shard stage profiles of the last search, in shard order."""
-        return tuple(self._last_shard_profiles)
+        """Per-shard stage profiles of the last search, in shard order.
+
+        ``()`` until a search succeeds — and again after a search
+        *fails*, so a monitoring caller never reads a previous search's
+        profiles as if they belonged to the failed one.
+        """
+        return self._last_shard_profiles
+
+    def search_encoded(self, raw_queries, queries, k=None, batch_size=None,
+                       route=None, plan=None, **search_opts):
+        """See :meth:`IndexHandle.search_encoded`; tracks shard profiles."""
+        self._last_shard_profiles = ()
+        result = super().search_encoded(
+            raw_queries, queries, k=k, batch_size=batch_size,
+            route=route, plan=plan, **search_opts,
+        )
+        self._last_shard_profiles = tuple(result.shard_profiles or ())
+        return result
 
     def shard_devices(self) -> list[Device]:
         """The pool devices this index's shards live on, in shard order."""
@@ -295,6 +320,10 @@ class ShardedIndexHandle(IndexHandle):
         for shard in self.plan.shards:
             index = InvertedIndex.build(shard.corpus, load_balance=self.config.load_balance)
             self.session.host.charge_ops(index.build_ops, stage="index_build")
+            # The built index materializes the shard's sorted distinct
+            # keywords; seed the slice's routing-bounds cache with the
+            # same array so the planner's table costs nothing extra.
+            shard._keywords = index.keyword_array
             self._parts.append(
                 _IndexPart(
                     self, shard.position,
@@ -307,49 +336,21 @@ class ShardedIndexHandle(IndexHandle):
         return self
 
     # ------------------------------------------------------------------
-    # search
+    # planning
 
-    def search_encoded(self, raw_queries, queries, k=None, batch_size=None, **search_opts):
-        """See :meth:`IndexHandle.search_encoded`; adds shard profiles."""
-        self._last_shard_profiles = []
-        result = super().search_encoded(
-            raw_queries, queries, k=k, batch_size=batch_size, **search_opts
-        )
-        if not self._last_shard_profiles:
-            # Every query was skipped (e.g. no indexed grams), so no shard
-            # ran — but this is still a sharded result and must keep the
-            # per-shard contract: one empty profile per shard, never ().
-            self._last_shard_profiles = [StageTimings() for _ in self._parts]
-        result.shard_profiles = tuple(self._last_shard_profiles)
-        return result
+    def _plan_shards(self) -> ShardContext | None:
+        """Shard context the query planner compiles against.
 
-    def _run_parts(self, queries, k, batch_size, profile):
-        """Concurrent shard scans + exact merge (overrides the serial base).
-
-        Each shard ensures its own residency (swap-ins land on the shard's
-        device and in its profile slice), scans on its own timeline, and
-        the merged profile is the critical path plus the host merge.
+        The routing table is each slice's keyword bounds
+        (:meth:`ShardSlice.keywords <repro.cluster.plan.ShardSlice.keywords>`),
+        seeded at fit time from the shard index's already-materialized
+        ``keyword_array`` — no extra pass over the corpus.
         """
-        per_shard: list[list[TopKResult]] = []
-        shard_profiles: list[StageTimings] = []
-        id_maps: list[np.ndarray] = []
-        for part in self._parts:
-            device = part.engine.device
-            transfer_before = device.timings.get("index_transfer")
-            self.session._ensure_resident(part)
-            part_results = self._query_engine(part.engine, queries, k, batch_size)
-            shard_profile = part.engine.last_profile.copy()
-            swap_seconds = device.timings.get("index_transfer") - transfer_before
-            if swap_seconds > 0:
-                shard_profile.add("index_transfer", swap_seconds)
-            per_shard.append(part_results)
-            shard_profiles.append(shard_profile)
-            id_maps.append(part.global_ids)
-        merged, merge_seconds = merge_shard_results(
-            per_shard, id_maps, len(queries), k, self.session.host,
-            n_objects=self.plan.n_objects if self.plan is not None else None,
+        if self.plan is None or not self._parts:
+            return None
+        return ShardContext(
+            n_shards=self.n_shards,
+            strategy=self.shard_strategy,
+            shard_keywords=tuple(shard.keywords() for shard in self.plan.shards),
+            n_objects=self.plan.n_objects,
         )
-        profile.merge(critical_path_profile(shard_profiles))
-        profile.add("result_merge", merge_seconds)
-        self._last_shard_profiles = shard_profiles
-        return merged

@@ -24,7 +24,7 @@ Two partition strategies:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -82,9 +82,30 @@ class ShardSlice:
     position: int
     corpus: Corpus
     global_ids: np.ndarray
+    _keywords: np.ndarray | None = field(default=None, repr=False)
 
     def __len__(self) -> int:
         return len(self.corpus)
+
+    def keywords(self) -> np.ndarray:
+        """Sorted distinct keywords present in this shard's slice.
+
+        These are the shard's *partition bounds* for query routing: a
+        query with no keyword in this set cannot produce a positive match
+        count here, so the planner's shard-pruning rule may skip the
+        shard without changing results (see
+        :func:`repro.plan.planner.route_queries`). Cached after the first
+        call; the fitted shard index exposes the same array as its
+        ``keyword_array``.
+        """
+        if self._keywords is None:
+            arrays = [arr for arr in self.corpus.keyword_arrays if arr.size]
+            self._keywords = (
+                np.unique(np.concatenate(arrays))
+                if arrays
+                else np.empty(0, dtype=ID_DTYPE)
+            )
+        return self._keywords
 
 
 class ShardPlan:

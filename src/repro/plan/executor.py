@@ -1,0 +1,277 @@
+"""One executor for every compiled plan: serial, routed-shard, TPUT.
+
+The session layer's three entry points all lower through
+:func:`repro.plan.planner.compile_search` and execute here. The executor
+owns the physical loop — residency, per-part/per-shard engine calls, the
+host-side merges and their cost accounting — and guarantees the planner's
+contract: **every strategy returns bit-identical results** (ids, counts,
+tie order, thresholds) to a broadcast one-round execution. What changes
+between plans is only the simulated time spent getting there.
+
+Cost model notes:
+
+* A routed shard scan pays query transfer / scan / select only for the
+  queries routed to it; a fully pruned shard is not touched at all (not
+  even made resident).
+* A two-round TPUT execution's critical path is
+  ``max(shard round-1) + round-1 threshold merge + max(shard round-2) +
+  final merge`` — the rounds are global barriers, so the per-round
+  critical paths add instead of max-ing over whole shard timelines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import ID_DTYPE, Query, TopKResult
+from repro.gpu.stats import StageTimings
+from repro.plan.planner import CompiledPlan
+
+
+def execute_plan(
+    compiled: CompiledPlan,
+    handle,
+    queries: list[Query],
+    batch_size: int | None,
+    profile: StageTimings,
+) -> tuple[list[TopKResult], list[StageTimings] | None]:
+    """Run a compiled plan over the *active* queries.
+
+    Args:
+        compiled: The plan from :func:`~repro.plan.planner.compile_search`.
+        handle: The session index handle owning the parts.
+        queries: The active (post-elision) encoded queries, aligned with
+            ``compiled.active``.
+        batch_size: Device sub-batch size (Fig. 11 protocol), or ``None``.
+        profile: Stage profile the execution accumulates into; for shard
+            plans this receives the concurrent critical path.
+
+    Returns:
+        ``(results, shard_profiles)``: one result per active query, and
+        per-shard profile slices (``None`` for serial plans).
+    """
+    if compiled.shards is None:
+        return _run_serial(handle, queries, compiled.retrieval_k, batch_size, profile), None
+    return _run_shards(compiled, handle, queries, batch_size, profile)
+
+
+# ----------------------------------------------------------------------
+# serial (single device, one or more multi-loading parts)
+
+
+def _run_serial(
+    handle,
+    queries: list[Query],
+    k: int,
+    batch_size: int | None,
+    profile: StageTimings,
+) -> list[TopKResult]:
+    session = handle.session
+    device = session.device
+    parts = handle._parts
+    if len(parts) == 1:
+        part = parts[0]
+        transfer_before = device.timings.get("index_transfer")
+        session._ensure_resident(part)
+        try:
+            results = handle._query_engine(part.engine, queries, k, batch_size)
+        finally:
+            if handle.swap_parts:
+                session._evict_part(part)
+        profile.merge(part.engine.last_profile)
+        swap_seconds = device.timings.get("index_transfer") - transfer_before
+        if swap_seconds > 0:
+            profile.add("index_transfer", swap_seconds)
+        return results
+
+    # Multi-part: query each part, merge per query on the host (Fig. 6).
+    # Parts partition the objects, so an object's count is complete within
+    # its part and the merge is exact. The sharded merge
+    # (repro.cluster.executor.merge_shard_results) parallels this ordering
+    # deliberately — keep tie-order changes in sync.
+    merged_ids: list[list[np.ndarray]] = [[] for _ in queries]
+    merged_counts: list[list[np.ndarray]] = [[] for _ in queries]
+    for part in parts:
+        transfer_before = device.timings.get("index_transfer")
+        session._ensure_resident(part)
+        try:
+            part_results = handle._query_engine(part.engine, queries, k, batch_size)
+        finally:
+            if handle.swap_parts:
+                session._evict_part(part)
+        profile.merge(part.engine.last_profile)
+        profile.add("index_transfer", device.timings.get("index_transfer") - transfer_before)
+        for qi, part_result in enumerate(part_results):
+            merged_ids[qi].append(part_result.ids + part.offset)
+            merged_counts[qi].append(part_result.counts)
+
+    results = []
+    merge_ops = 0.0
+    for qi in range(len(queries)):
+        ids = np.concatenate(merged_ids[qi]) if merged_ids[qi] else np.empty(0, dtype=ID_DTYPE)
+        counts = (
+            np.concatenate(merged_counts[qi]) if merged_counts[qi] else np.empty(0, dtype=ID_DTYPE)
+        )
+        order = np.lexsort((ids, -counts))[:k]
+        results.append(TopKResult(ids=ids[order], counts=counts[order]))
+        merge_ops += ids.size * max(1.0, np.log2(max(ids.size, 2)))
+    session.host.charge_ops(merge_ops, stage="result_merge")
+    profile.add("result_merge", merge_ops / session.host.spec.ops_per_second)
+    return results
+
+
+# ----------------------------------------------------------------------
+# sharded (one device per shard, routed, one- or two-round merge)
+
+
+def _empty_result() -> TopKResult:
+    return TopKResult(ids=np.empty(0, dtype=ID_DTYPE), counts=np.empty(0, dtype=ID_DTYPE))
+
+
+def _scan_round(
+    handle,
+    routes: list[np.ndarray],
+    queries: list[Query],
+    k: int,
+    batch_size: int | None,
+    per_shard: list[list[TopKResult]],
+    shard_profiles: list[StageTimings],
+) -> None:
+    """Scan each shard's routed query subset at width ``k``.
+
+    Results land query-aligned in ``per_shard`` (positions a shard was
+    not routed keep their previous contents — empty for round one, the
+    round-one candidates for a TPUT top-up round); each shard's stage
+    profile (including any swap-in it forced) accumulates into
+    ``shard_profiles``.
+    """
+    session = handle.session
+    for shard, part in enumerate(handle._parts):
+        route = routes[shard]
+        if route.size == 0:
+            continue
+        device = part.engine.device
+        transfer_before = device.timings.get("index_transfer")
+        session._ensure_resident(part)
+        subset = [queries[int(j)] for j in route]
+        results = handle._query_engine(part.engine, subset, k, batch_size)
+        shard_profile = part.engine.last_profile.copy()
+        swap_seconds = device.timings.get("index_transfer") - transfer_before
+        if swap_seconds > 0:
+            shard_profile.add("index_transfer", swap_seconds)
+        shard_profiles[shard].merge(shard_profile)
+        for j, result in zip(route, results):
+            per_shard[shard][int(j)] = result
+
+
+def _tput_topup_routes(
+    per_shard: list[list[TopKResult]],
+    n_queries: int,
+    retrieval_k: int,
+    first_round_k: int,
+    host,
+) -> tuple[list[np.ndarray], float]:
+    """Which (shard, query) pairs the exact TPUT bound forces to top up.
+
+    After round one, shard ``s`` is *complete* for a query when it
+    returned fewer than ``first_round_k`` candidates (no positive-count
+    object is unfetched — which also covers shards the query was never
+    routed to: they hold no candidates at all). An incomplete shard's unfetched candidates all
+    count at most its round-one threshold ``t_s`` (its lowest returned
+    count). With ``C`` the ``retrieval_k``-th best count in the merged
+    round-one pool, ``t_s < C`` proves every unfetched candidate counts
+    strictly below the global top-``retrieval_k`` — ties included, since
+    the tie-break only applies at equal counts — so the shard need not
+    top up. Any doubt (``t_s >= C``, or a pool smaller than
+    ``retrieval_k``) tops the shard up to the full width: the exact
+    fallback that keeps results bit-identical.
+
+    The threshold computation is charged to the host as a heap merge of
+    the fetched candidates (stage ``result_merge``).
+
+    Returns:
+        ``(topup_routes, seconds)``: per shard, the query positions to
+        re-fetch at full width, and the charged host seconds.
+    """
+    topup: list[list[int]] = [[] for _ in per_shard]
+    fetched = 0
+    for qi in range(n_queries):
+        counts_parts = [
+            shard_results[qi].counts
+            for shard_results in per_shard
+            if shard_results[qi].counts.size
+        ]
+        pool = np.concatenate(counts_parts) if counts_parts else np.empty(0, dtype=ID_DTYPE)
+        fetched += int(pool.size)
+        if pool.size >= retrieval_k:
+            cutoff = int(np.partition(pool, pool.size - retrieval_k)[pool.size - retrieval_k])
+        else:
+            cutoff = 0  # pool too small: every incomplete shard must top up
+        for shard, shard_results in enumerate(per_shard):
+            result = shard_results[qi]
+            if result.ids.size < first_round_k:
+                continue  # complete: nothing unfetched remains
+            if int(result.counts[-1]) >= cutoff:
+                topup[shard].append(qi)
+    ops = fetched * max(1.0, np.log2(max(len(per_shard), 2)))
+    seconds = host.charge_ops(ops, stage="result_merge")
+    return [np.asarray(positions, dtype=np.int64) for positions in topup], seconds
+
+
+def _run_shards(
+    compiled: CompiledPlan,
+    handle,
+    queries: list[Query],
+    batch_size: int | None,
+    profile: StageTimings,
+) -> tuple[list[TopKResult], list[StageTimings]]:
+    # Imported lazily: repro.cluster.executor imports the session module,
+    # which imports this executor at module level.
+    from repro.cluster.executor import critical_path_profile, merge_shard_results
+
+    session = handle.session
+    parts = handle._parts
+    n_queries = len(queries)
+    shards = compiled.shards
+    if compiled.routing_ops:
+        # The routing decision is pre-dispatch host work (binary searches
+        # against the shard keyword bounds). Like query encoding — the
+        # same class of work — it is charged to the host's accounting but
+        # not to the batch profile: it happens before any device is
+        # touched and overlaps device execution under pipelined dispatch,
+        # so it is not on the batch's critical path.
+        session.host.charge_ops(compiled.routing_ops, stage="plan_route")
+    per_shard: list[list[TopKResult]] = [
+        [_empty_result() for _ in range(n_queries)] for _ in parts
+    ]
+    round1_profiles = [StageTimings() for _ in parts]
+
+    if compiled.merge == "two-round-tput":
+        first_k = compiled.first_round_k
+        _scan_round(handle, compiled.routes, queries, first_k, batch_size,
+                    per_shard, round1_profiles)
+        topup_routes, threshold_seconds = _tput_topup_routes(
+            per_shard, n_queries, compiled.retrieval_k, first_k, session.host,
+        )
+        round2_profiles = [StageTimings() for _ in parts]
+        _scan_round(handle, topup_routes, queries, compiled.retrieval_k,
+                    batch_size, per_shard, round2_profiles)
+        profile.merge(critical_path_profile(round1_profiles))
+        profile.add("result_merge", threshold_seconds)
+        profile.merge(critical_path_profile(round2_profiles))
+        shard_profiles = [StageTimings() for _ in parts]
+        for shard in range(len(parts)):
+            shard_profiles[shard].merge(round1_profiles[shard])
+            shard_profiles[shard].merge(round2_profiles[shard])
+    else:
+        _scan_round(handle, compiled.routes, queries, compiled.retrieval_k,
+                    batch_size, per_shard, round1_profiles)
+        profile.merge(critical_path_profile(round1_profiles))
+        shard_profiles = round1_profiles
+
+    merged, merge_seconds = merge_shard_results(
+        per_shard, [part.global_ids for part in parts], n_queries,
+        compiled.retrieval_k, session.host, n_objects=shards.n_objects,
+    )
+    profile.add("result_merge", merge_seconds)
+    return merged, shard_profiles

@@ -58,6 +58,9 @@ class ServeMetrics:
             shard's device spent on dispatched batches (sharded indexes
             only; empty otherwise).
         sharded_batches: Dispatched batches that ran on a sharded index.
+        routed_batches: Sharded batches whose plan pruned at least one
+            (query, shard) scan pair instead of broadcasting (see
+            :class:`repro.plan.nodes.RoutingSummary`).
     """
 
     def __init__(self):
@@ -74,6 +77,9 @@ class ServeMetrics:
         self.busy_seconds = 0.0
         self.shard_busy_seconds: dict[int, float] = {}
         self.sharded_batches = 0
+        self.routed_batches = 0
+        self._scanned_pairs = 0
+        self._pruned_pairs = 0
         self.first_arrival: float | None = None
         self.last_completion: float | None = None
         self._latencies: list[float] = []
@@ -103,6 +109,7 @@ class ServeMetrics:
         swap_ins: int,
         evictions: int,
         shard_seconds: list[float] | None = None,
+        routing=None,
     ) -> None:
         """Note one dispatched batch and its residency side effects.
 
@@ -113,6 +120,10 @@ class ServeMetrics:
             swap_ins / evictions: Residency events the batch caused.
             shard_seconds: Per-shard device seconds when the batch ran on
                 a sharded index, in shard order.
+            routing: The batch plan's
+                :class:`~repro.plan.nodes.RoutingSummary` when it ran on
+                a sharded index (``None`` otherwise) — feeds the
+                routed-vs-broadcast counters.
         """
         self.batches += 1
         self.batch_sizes[size] = self.batch_sizes.get(size, 0) + 1
@@ -125,6 +136,11 @@ class ServeMetrics:
                 self.shard_busy_seconds[shard] = (
                     self.shard_busy_seconds.get(shard, 0.0) + float(seconds)
                 )
+        if routing is not None:
+            self._scanned_pairs += int(routing.scanned_pairs)
+            self._pruned_pairs += int(routing.pruned_pairs)
+            if not routing.broadcast:
+                self.routed_batches += 1
 
     # ------------------------------------------------------------------
     # derived views
@@ -168,6 +184,17 @@ class ServeMetrics:
         mean = sum(busy) / len(busy)
         return max(busy) / mean if mean > 0 else 0.0
 
+    @property
+    def pruned_shard_fraction(self) -> float:
+        """Fraction of per-shard query scans that shard routing avoided.
+
+        One ``(query, shard)`` pair is one per-shard query scan; broadcast
+        execution scans all of them. ``0.0`` when no sharded batch has
+        been dispatched (or every one broadcast).
+        """
+        total = self._scanned_pairs + self._pruned_pairs
+        return self._pruned_pairs / total if total else 0.0
+
     def latency(self, p: float) -> float:
         """Nearest-rank latency percentile over completed requests."""
         return percentile_nearest_rank(self._latencies, p)
@@ -196,6 +223,8 @@ class ServeMetrics:
             "evictions": self.evictions,
             "busy_seconds": self.busy_seconds,
             "sharded_batches": self.sharded_batches,
+            "routed_batches": self.routed_batches,
+            "pruned_shard_fraction": self.pruned_shard_fraction,
             "shard_busy_seconds": dict(sorted(self.shard_busy_seconds.items())),
             "shard_imbalance": self.shard_imbalance,
             "elapsed_seconds": self.elapsed_seconds,

@@ -16,10 +16,13 @@ the stream back into batches:
   other residents.
 
 Requests in one index's queue only coalesce when they share a *lane* —
-the ``(k, options)`` signature a single ``search()`` call can serve. The
-drain takes the head request's lane and gathers up to ``max_batch``
-compatible requests from the queue, preserving arrival order within the
-lane and leaving other lanes queued.
+the ``(k, options, route, plan)`` signature a single ``search()`` call
+can serve, where ``route``/``plan`` are the query-planner directives
+(:mod:`repro.plan`): a coalesced batch compiles to exactly one plan, so
+requests forcing different strategies never ride together. The drain
+takes the head request's lane and gathers up to ``max_batch`` compatible
+requests from the queue, preserving arrival order within the lane and
+leaving other lanes queued.
 
 The scheduler never looks at a wall clock: readiness is evaluated against
 the caller-supplied virtual ``now`` (see :mod:`repro.serve.clock`), which

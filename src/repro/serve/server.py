@@ -30,9 +30,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.models import resolve_shortlist_k
 from repro.api.session import GenieSession
 from repro.errors import AdmissionError, ConfigError, QueryError, ReproError
 from repro.gpu.stats import StageTimings
+from repro.plan.planner import validate_plan_args
 from repro.serve.cache import QueryResultCache, make_cache_key
 from repro.serve.clock import VirtualClock
 from repro.serve.metrics import ServeMetrics
@@ -160,7 +162,9 @@ class _ServeRequest:
         self.index = index
         self.raw = raw
         self.query = query
-        self.lane = lane  # (k, opts_key): only lane-mates may share a batch
+        # (k, opts_key, route, plan): only lane-mates may share a batch,
+        # so a coalesced search has one k, one option set, one plan.
+        self.lane = lane
         self.arrival = arrival
         self.future = future
         self.cache_key = cache_key
@@ -178,6 +182,16 @@ class GenieServer:
             admission beyond it raises :class:`AdmissionError`.
         cache_size: Entries in the exact-match result cache; ``0`` or
             ``None`` disables caching.
+        route: Server-wide default for the planner's routing escape hatch
+            (``"auto"`` / ``"pruned"`` / ``"broadcast"``); per-request
+            ``submit(..., route=...)`` overrides it.
+        plan: Server-wide default merge strategy (``"auto"`` /
+            ``"one-round"`` / ``"two-round"``); per-request override as
+            above. Requests only coalesce with lane-mates sharing both
+            directives, so one batch always executes one strategy. Both
+            defaults are shard strategies and apply to sharded indexes
+            only; requests to serial indexes ignore them (an explicit
+            per-request directive is still validated strictly).
     """
 
     def __init__(
@@ -187,6 +201,8 @@ class GenieServer:
         clock: VirtualClock | None = None,
         max_queue_depth: int = 256,
         cache_size: int | None = 1024,
+        route: str | None = None,
+        plan: str | None = None,
     ):
         if int(max_queue_depth) < 1:
             raise ConfigError("max_queue_depth must be >= 1")
@@ -194,6 +210,17 @@ class GenieServer:
         self.clock = clock if clock is not None else VirtualClock()
         self.scheduler = MicroBatchScheduler(policy)
         self.max_queue_depth = int(max_queue_depth)
+        # Fail a misconfigured server default here, not on the first
+        # innocent request to a sharded index (and not silently-never on
+        # a serial-only server, where the defaults are simply unused).
+        # Constructor misconfiguration is ConfigError, like every other
+        # constructor in the repo; QueryError stays per-request.
+        try:
+            validate_plan_args(route, plan, sharded=True)
+        except QueryError as error:
+            raise ConfigError(f"bad server default: {error}") from None
+        self.route = route
+        self.plan = plan
         self.cache = QueryResultCache(cache_size) if cache_size else None
         if self.cache is not None:
             session.add_invalidation_hook(self.cache.invalidate)
@@ -205,17 +232,39 @@ class GenieServer:
     # ------------------------------------------------------------------
     # admission
 
-    def submit(self, index: str, raw_query, k: int | None = None, **opts) -> RequestFuture:
+    def submit(
+        self,
+        index: str,
+        raw_query,
+        k: int | None = None,
+        route: str | None = None,
+        plan: str | None = None,
+        **opts,
+    ) -> RequestFuture:
         """Admit one request; returns a future resolved when its batch runs.
 
         The query is encoded immediately (malformed queries fail *here*,
-        not inside someone else's batch). A cache hit is answered at once —
-        even when the queue is full, a hit needs no queue slot. A miss
-        must find room in the bounded queue or admission fails.
+        not inside someone else's batch), and the planner directives are
+        validated immediately too (a bad ``route=`` fails the submitting
+        request, never a coalesced batch). A cache hit is answered at
+        once — even when the queue is full, a hit needs no queue slot. A
+        miss must find room in the bounded queue or admission fails.
+
+        Args:
+            index: Target index name.
+            raw_query: One query in the model's raw format.
+            k: Results requested (index default when omitted).
+            route: Planner routing directive (``"auto"``/``"pruned"``/
+                ``"broadcast"``); server default when omitted. Only
+                requests with matching directives share a batch.
+            plan: Planner merge directive (``"auto"``/``"one-round"``/
+                ``"two-round"``); server default when omitted.
+            opts: Model-specific search options.
 
         Raises:
             ConfigError: Closed server or session, or unknown index.
-            QueryError: Malformed query, bad ``k``, bad options.
+            QueryError: Malformed query, bad ``k``, bad options, or a
+                shard-only ``route``/``plan`` on a serial index.
             AdmissionError: Queue full (explicit backpressure).
         """
         self._check_open()
@@ -224,12 +273,18 @@ class GenieServer:
         k = int(k if k is not None else handle.config.k)
         if k < 1:
             raise QueryError("k must be >= 1")
+        sharded = getattr(handle, "n_shards", None) is not None
+        # Server-wide defaults are shard strategies; a serial index on a
+        # mixed-index server must stay servable, so it ignores them.
+        if route is None:
+            route = self.route if sharded else None
+        if plan is None:
+            plan = self.plan if sharded else None
+        # The normalized forms go into the lane so equivalent directives
+        # (None vs the explicit "auto") coalesce into one batch.
+        route, plan = validate_plan_args(route, plan, sharded=sharded)
         opts_key = tuple(sorted(opts.items()))
-        shortlist = getattr(handle.model, "shortlist_k", None)
-        if shortlist is not None:
-            shortlist(k, **opts)  # validates the options eagerly
-        elif opts:
-            raise QueryError(f"unsupported search options: {sorted(opts)}")
+        resolve_shortlist_k(handle.model, k, opts)  # validates the options eagerly
         query = handle.encode_queries([raw_query])[0]
 
         now = self.clock.now()
@@ -249,7 +304,8 @@ class GenieServer:
 
         future = RequestFuture(RequestMetadata(index=index, k=k, seq=self._seq, arrival=now))
         request = _ServeRequest(
-            self._seq, index, raw_query, query, (k, opts_key), now, future, cache_key
+            self._seq, index, raw_query, query, (k, opts_key, route, plan),
+            now, future, cache_key,
         )
         self._seq += 1
         self.metrics.record_arrival(now)
@@ -257,7 +313,15 @@ class GenieServer:
         self.pump()
         return future
 
-    def submit_many(self, index: str, raw_queries, k: int | None = None, **opts) -> list[RequestFuture]:
+    def submit_many(
+        self,
+        index: str,
+        raw_queries,
+        k: int | None = None,
+        route: str | None = None,
+        plan: str | None = None,
+        **opts,
+    ) -> list[RequestFuture]:
         """Admit a burst of requests for one index, all-or-nothing.
 
         Admission is checked for the whole burst up front (assuming every
@@ -269,7 +333,10 @@ class GenieServer:
         if self.scheduler.depth + len(raw_queries) > self.max_queue_depth:
             self.metrics.rejected += len(raw_queries)
             raise AdmissionError(self.scheduler.depth, self.max_queue_depth)
-        return [self.submit(index, raw, k=k, **opts) for raw in raw_queries]
+        return [
+            self.submit(index, raw, k=k, route=route, plan=plan, **opts)
+            for raw in raw_queries
+        ]
 
     @staticmethod
     def _cache_key(handle, index, raw_query, query, k, opts_key):
@@ -280,6 +347,10 @@ class GenieServer:
         injective, so the encoded items alone could conflate two raw
         queries with different verified payloads. An unhashable raw query
         then disables caching for the request instead of guessing.
+
+        The planner directives (``route``/``plan``) are deliberately
+        *not* part of the key: every strategy returns bit-identical
+        results, so a cached answer is valid for all of them.
         """
         raw_part = None
         if getattr(handle.model, "finalize_uses_raw", False):
@@ -405,16 +476,20 @@ class GenieServer:
 
     def _dispatch(self, index: str, requests: list[_ServeRequest]) -> None:
         now = self.clock.now()
-        k, opts_key = requests[0].lane
+        k, opts_key, route, plan = requests[0].lane
         raw = [r.raw for r in requests]
         queries = [r.query for r in requests]
         start = max(now, self._device_free)
         try:
             # The lookup is inside the guard: the index may have been
             # dropped while these requests were queued, and that must fail
-            # the futures, not escape drain()/close().
+            # the futures, not escape drain()/close(). The batch lowers
+            # through the query planner exactly like a direct search —
+            # same plan rules, same bit-identical results.
             handle = self.session.index(index)
-            result = handle.search_encoded(raw, queries, k=k, **dict(opts_key))
+            result = handle.search_encoded(
+                raw, queries, k=k, route=route, plan=plan, **dict(opts_key)
+            )
         except ReproError as error:
             self.metrics.failed += len(requests)
             for request in requests:
@@ -443,6 +518,7 @@ class GenieServer:
             shard_seconds=[p.query_total() for p in shard_profiles]
             if shard_profiles
             else None,
+            routing=result.routing,
         )
         payload_list = result.payload if isinstance(result.payload, list) else None
         for i, request in enumerate(requests):

@@ -146,3 +146,42 @@ class TestSequenceModel:
         model = NgramModel()
         with pytest.raises(QueryError, match="search options"):
             model.shortlist_k(1, bogus=2)
+
+
+class TestResolveShortlistK:
+    """The one shared shortlist-width helper (session search + server admission)."""
+
+    def test_model_without_hook_returns_k(self):
+        from repro.api.models import resolve_shortlist_k
+
+        class Bare:
+            def encode_corpus(self, data):
+                return Corpus(data)
+
+            def encode_queries(self, data):
+                return [Query.from_keywords(q) for q in data]
+
+        assert resolve_shortlist_k(Bare(), 7, {}) == 7
+
+    def test_model_without_hook_rejects_options(self):
+        from repro.api.models import resolve_shortlist_k
+
+        class Bare:
+            pass
+
+        with pytest.raises(QueryError, match="unsupported search options"):
+            resolve_shortlist_k(Bare(), 3, {"n_candidates": 10})
+
+    def test_hook_widens_and_validates(self):
+        from repro.api.models import resolve_shortlist_k
+
+        model = SequenceModel()
+        assert resolve_shortlist_k(model, 3, {"n_candidates": 12}) == 12
+        with pytest.raises(QueryError, match="n_candidates >= k"):
+            resolve_shortlist_k(model, 5, {"n_candidates": 2})
+
+    def test_base_model_rejects_unknown_options(self):
+        from repro.api.models import resolve_shortlist_k
+
+        with pytest.raises(QueryError, match="does not accept search options"):
+            resolve_shortlist_k(RawModel(), 3, {"bogus": 1})

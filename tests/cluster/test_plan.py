@@ -106,3 +106,42 @@ class TestValidationAndStats:
     def test_empty_corpus_imbalance_is_zero(self):
         plan = ShardPlan.build(Corpus([]), 2)
         assert plan.size_imbalance() == 0.0
+
+
+class TestShardKeywords:
+    """ShardSlice.keywords(): the plan-level routing bounds.
+
+    The planner routes against the *fitted* shard index's keyword_array
+    (ShardedIndexHandle._plan_shards); the plan-level view must stay
+    bit-identical to it — it is the same partition-bounds surface, usable
+    before any index is built (e.g. by rebalancing tooling).
+    """
+
+    def test_matches_fitted_index_keyword_array(self):
+        from repro.core.inverted_index import InvertedIndex
+
+        objects = [[0, 5], [5, 9], [2], [], [9, 11, 3]]
+        plan = ShardPlan.build(objects, 3, strategy="hash", seed=1)
+        for shard in plan.shards:
+            index = InvertedIndex.build(shard.corpus)
+            assert np.array_equal(shard.keywords(), index.keyword_array)
+
+    def test_cached_and_empty_slice(self):
+        plan = ShardPlan.build(Corpus([[1, 2]]), 2)  # second shard empty
+        empty = [s for s in plan.shards if len(s) == 0][0]
+        assert empty.keywords().size == 0
+        full = [s for s in plan.shards if len(s)][0]
+        assert full.keywords() is full.keywords()  # cached after first call
+
+    def test_routes_like_the_session_planner(self):
+        from repro.core.types import Query
+        from repro.plan import route_queries
+
+        objects = [[0, 1], [1, 2], [4, 5], [5, 6]]
+        plan = ShardPlan.build(objects, 2, strategy="range")
+        routes = route_queries(
+            [Query.from_keywords([0]), Query.from_keywords([6])],
+            tuple(shard.keywords() for shard in plan.shards),
+        )
+        assert routes[0].tolist() == [0]
+        assert routes[1].tolist() == [1]

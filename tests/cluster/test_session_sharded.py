@@ -6,7 +6,7 @@ import pytest
 from repro.api import GenieSession
 from repro.cluster import ShardedIndexHandle
 from repro.core.engine import GenieConfig
-from repro.errors import ConfigError
+from repro.errors import ConfigError, QueryError
 from repro.serve import BatchPolicy, GenieServer
 
 
@@ -237,3 +237,19 @@ class TestServing:
         assert snap["busy_seconds"] < sum(shard_busy)
         assert snap["busy_seconds"] > max(shard_busy)
         assert future.metadata.service_time == pytest.approx(snap["busy_seconds"])
+
+
+class TestShardProfilesAfterFailure:
+    def test_failed_search_clears_shard_profiles(self):
+        # A monitoring caller must never read a previous search's
+        # per-shard profiles as if they belonged to a failed one.
+        session = GenieSession()
+        handle = session.create_index(_objects(), model="raw", name="x", shards=3)
+        ok = handle.search(_queries(n=2), k=3)
+        assert handle.shard_profiles == ok.shard_profiles
+        assert len(handle.shard_profiles) == 3
+        with pytest.raises(QueryError):
+            handle.search(_queries(n=2), k=0)
+        assert handle.shard_profiles == ()
+        again = handle.search(_queries(n=2), k=3)
+        assert handle.shard_profiles == again.shard_profiles

@@ -1,0 +1,109 @@
+"""Plan-IR unit tests: rendering stability, traversal, routing accounting."""
+
+import pytest
+
+from repro.plan import (
+    EncodeNode,
+    FinalizeNode,
+    MergeNode,
+    PlanNode,
+    RoutingSummary,
+    ScanNode,
+    ShardScanNode,
+)
+
+
+def make_sharded_plan() -> PlanNode:
+    encode = EncodeNode(model="relational", n_queries=4, elided=(3,))
+    scan = ShardScanNode(
+        index="adult", strategy="range", n_shards=3, n_queries=3, k=5,
+        eligible=((0, 2), (), (1,)), broadcast=False, inputs=(encode,),
+    )
+    merge = MergeNode(strategy="two-round-tput", k=5, first_round_k=2, inputs=(scan,))
+    return FinalizeNode(model="relational", k=5, inputs=(merge,))
+
+
+class TestRender:
+    def test_sharded_tree_snapshot(self):
+        # The rendering is an API (explain() output is snapshot-tested);
+        # change it deliberately.
+        expected = "\n".join([
+            "Finalize(model='relational', k=5)",
+            "└─ Merge(two-round-tput, k=5, first_round_k=2)",
+            "   └─ ShardScan(index='adult', strategy='range', shards=3, queries=3, k=5, routed shards=2/3)",
+            "      · shard 0 ← eligible queries [0, 2]",
+            "      · shard 1 ← (pruned)",
+            "      · shard 2 ← eligible queries [1]",
+            "      └─ Encode(model='relational', queries=4, elided=[3])",
+        ])
+        assert make_sharded_plan().render() == expected
+        assert str(make_sharded_plan()) == expected
+
+    def test_serial_tree_snapshot(self):
+        encode = EncodeNode(model="document", n_queries=2)
+        scan = ScanNode(
+            index="tweets", parts=1, swap_parts=False, n_queries=2, k=10,
+            inputs=(encode,),
+        )
+        assert scan.render() == "\n".join([
+            "Scan(index='tweets', parts=1, queries=2, k=10)",
+            "└─ Encode(model='document', queries=2)",
+        ])
+
+    def test_multipart_swap_scan_label(self):
+        scan = ScanNode(index="big", parts=3, swap_parts=True, n_queries=8, k=4)
+        assert scan.label() == "Scan(index='big', parts=3, swap_parts, queries=8, k=4)"
+
+    def test_broadcast_shard_scan_has_no_route_lines(self):
+        scan = ShardScanNode(
+            index="ocr", strategy="hash", n_shards=2, n_queries=3, k=4,
+            eligible=((0, 1, 2), (0, 1, 2)), broadcast=True,
+        )
+        assert "broadcast" in scan.label()
+        assert scan.annotations() == ()
+        assert scan.render() == scan.label()
+
+    def test_long_query_lists_are_summarized(self):
+        positions = tuple(range(20))
+        scan = ShardScanNode(
+            index="i", strategy="range", n_shards=2, n_queries=20, k=1,
+            eligible=(positions, ()), broadcast=False,
+        )
+        assert "shard 0 ← eligible 20 queries" in scan.render()
+
+
+class TestTraversal:
+    def test_walk_is_preorder(self):
+        root = make_sharded_plan()
+        kinds = [type(node).__name__ for node in root.walk()]
+        assert kinds == ["FinalizeNode", "MergeNode", "ShardScanNode", "EncodeNode"]
+
+    def test_find(self):
+        root = make_sharded_plan()
+        assert root.find(ShardScanNode).n_shards == 3
+        assert root.find(EncodeNode).elided == (3,)
+        assert root.find(ScanNode) is None
+
+    def test_nodes_are_frozen(self):
+        node = EncodeNode(model="raw", n_queries=1)
+        with pytest.raises(AttributeError):
+            node.model = "other"
+
+
+class TestRoutingSummary:
+    def test_pruned_fraction(self):
+        routing = RoutingSummary(n_shards=4, n_queries=3, scanned_pairs=9, pruned_pairs=3)
+        assert routing.pruned_fraction == pytest.approx(0.25)
+        assert not routing.broadcast
+
+    def test_broadcast_and_empty(self):
+        assert RoutingSummary(2, 3, scanned_pairs=6, pruned_pairs=0).broadcast
+        assert RoutingSummary(2, 3, scanned_pairs=6, pruned_pairs=0).pruned_fraction == 0.0
+        assert RoutingSummary(2, 0, scanned_pairs=0, pruned_pairs=0).pruned_fraction == 0.0
+
+
+def test_long_elided_lists_are_summarized():
+    node = EncodeNode(model="ngram", n_queries=600, elided=tuple(range(400)))
+    assert node.label() == "Encode(model='ngram', queries=600, elided=400 queries)"
+    short = EncodeNode(model="ngram", n_queries=4, elided=(1, 3))
+    assert short.label() == "Encode(model='ngram', queries=4, elided=[1, 3])"

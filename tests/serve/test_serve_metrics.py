@@ -101,3 +101,54 @@ class TestShardCounters:
         snap = metrics.snapshot()
         assert snap["sharded_batches"] == 0
         assert snap["shard_busy_seconds"] == {}
+
+
+class TestRoutingCounters:
+    def test_routed_batches_and_pruned_fraction(self):
+        from repro.plan import RoutingSummary
+
+        metrics = ServeMetrics()
+        routed = RoutingSummary(n_shards=4, n_queries=2, scanned_pairs=2, pruned_pairs=6)
+        broadcast = RoutingSummary(n_shards=4, n_queries=2, scanned_pairs=8, pruned_pairs=0)
+        metrics.record_batch(2, 1.0, 0, 0, shard_seconds=[1.0, 0, 0, 0], routing=routed)
+        metrics.record_batch(2, 1.0, 0, 0, shard_seconds=[1.0, 1.0, 1.0, 1.0], routing=broadcast)
+        assert metrics.routed_batches == 1
+        assert metrics.sharded_batches == 2
+        # 6 of 16 (query, shard) scan pairs were avoided across both batches.
+        assert metrics.pruned_shard_fraction == pytest.approx(6 / 16)
+        snap = metrics.snapshot()
+        assert snap["routed_batches"] == 1
+        assert snap["pruned_shard_fraction"] == pytest.approx(6 / 16)
+
+    def test_unsharded_batches_leave_routing_counters_zero(self):
+        metrics = ServeMetrics()
+        metrics.record_batch(4, 3.0, 0, 0)
+        assert metrics.routed_batches == 0
+        assert metrics.pruned_shard_fraction == 0.0
+        snap = metrics.snapshot()
+        assert snap["routed_batches"] == 0
+        assert snap["pruned_shard_fraction"] == 0.0
+
+    def test_served_routed_traffic_feeds_the_counters(self):
+        # End to end: band-local single-query batches on a range-sharded
+        # sorted table are routed (pruned shards); forcing broadcast on
+        # the same server is not.
+        session = GenieSession()
+        age = np.sort(np.random.default_rng(3).uniform(18, 90, size=400))
+        job = np.random.default_rng(4).integers(0, 3, size=400)
+        from repro.sa.relational import AttributeSpec
+
+        session.create_index(
+            {"age": age, "job": job}, model="relational",
+            schema=[AttributeSpec("age", "numeric", bins=16),
+                    AttributeSpec("job", "categorical")],
+            name="adult", shards=4,
+        )
+        server = GenieServer(session, policy=BatchPolicy.fifo(), cache_size=None)
+        server.submit("adult", {"age": (20.0, 22.0)}, k=3)
+        server.submit("adult", {"age": (21.0, 23.0)}, k=3, route="broadcast")
+        server.drain()
+        snap = server.snapshot()
+        assert snap["sharded_batches"] == 2
+        assert snap["routed_batches"] == 1
+        assert 0.0 < snap["pruned_shard_fraction"] < 1.0

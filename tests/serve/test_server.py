@@ -270,3 +270,66 @@ class TestDeterminism:
             return server.snapshot()
 
         assert run() == run()
+
+
+class TestPlannerDirectives:
+    def _mixed_server(self, **kwargs):
+        session = GenieSession()
+        session.create_index(DOCS, model="document", name="serial")
+        session.create_index(DOCS, model="document", name="sharded", shards=2)
+        kwargs.setdefault("cache_size", None)
+        return GenieServer(session, policy=BatchPolicy.fifo(), **kwargs)
+
+    def test_server_defaults_do_not_poison_serial_indexes(self):
+        # Server-wide route/plan defaults are shard strategies; a serial
+        # index on a mixed-index server must stay servable.
+        server = self._mixed_server(route="broadcast", plan="two-round")
+        serial = server.submit("serial", DOCS[0], k=2)
+        sharded = server.submit("sharded", DOCS[0], k=2)
+        server.drain()
+        assert np.array_equal(serial.result().ids, sharded.result().ids)
+
+    def test_explicit_directive_on_serial_index_still_rejected(self):
+        server = self._mixed_server()
+        with pytest.raises(QueryError, match="requires a sharded index"):
+            server.submit("serial", DOCS[0], k=2, route="broadcast")
+
+    def test_normalized_directives_share_a_lane(self):
+        # None, the explicit "auto", and plan="one-round" all compile to
+        # the same plan, so they must coalesce into one batch.
+        session = GenieSession()
+        session.create_index(DOCS, model="document", name="sharded", shards=2)
+        server = GenieServer(
+            session, policy=BatchPolicy.micro(max_batch=4, max_wait=1.0),
+            cache_size=None,
+        )
+        a = server.submit("sharded", DOCS[0], k=2)
+        b = server.submit("sharded", DOCS[1], k=2, route="auto", plan="auto")
+        c = server.submit("sharded", DOCS[2], k=2, plan="one-round")
+        server.drain()
+        assert a.metadata.batch_size == 3
+        assert b.metadata.batch_size == 3
+        assert c.metadata.batch_size == 3
+
+    def test_bad_server_default_fails_at_construction(self):
+        # Constructor misconfiguration is ConfigError (like every other
+        # constructor); QueryError stays for per-request problems.
+        session = GenieSession()
+        session.create_index(DOCS, model="document", name="tweets")
+        with pytest.raises(ConfigError, match="unknown route"):
+            GenieServer(session, route="prune")  # typo for "pruned"
+        with pytest.raises(ConfigError, match="unknown plan"):
+            GenieServer(session, plan="tput")
+
+    def test_different_directives_never_share_a_batch(self):
+        session = GenieSession()
+        session.create_index(DOCS, model="document", name="sharded", shards=2)
+        server = GenieServer(
+            session, policy=BatchPolicy.micro(max_batch=4, max_wait=1.0),
+            cache_size=None,
+        )
+        a = server.submit("sharded", DOCS[0], k=2)
+        b = server.submit("sharded", DOCS[1], k=2, route="broadcast")
+        server.drain()
+        assert a.metadata.batch_size == 1
+        assert b.metadata.batch_size == 1
