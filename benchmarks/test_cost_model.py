@@ -1,0 +1,191 @@
+"""Bench: the calibrated cost model — prediction accuracy and the auto win.
+
+Replays the two serving workloads the planner must price correctly and
+checks the cost model against the simulator's own clocks:
+
+* **Skewed band traffic** (the ``plan_routing`` home workload): an
+  Adult-like table sorted by age, range-partitioned over 4 shards, 96
+  narrow age-band single-query batches. Concentrated postings, chi -> 1:
+  the model must predict per-batch device time within 25% *and* the
+  costed ``auto`` must keep picking the pruned one-round plan (two-round
+  always loses here — the busy shard always tops up).
+* **Evenly-spread hash-sharded ANN** (the TPUT home workload): e2lsh
+  signatures over 8000 points, one 64-query batch at ``k=50`` across 8
+  hash shards. Clustered per-shard thresholds let most pairs skip the
+  top-up: the costed ``auto`` must discover the two-round merge on its
+  own (nobody passes ``plan=``) and collect >= 1.3x over the forced
+  one-round merge.
+
+Every auto result is asserted bit-identical to its forced counterpart
+before any number is reported — calibration quality can only ever move
+*cost*, never answers.
+"""
+
+import numpy as np
+
+from repro.api import GenieSession
+from repro.datasets.relational import adult_schema, make_adult_like
+from repro.experiments.table import ResultTable
+from repro.plan import PREDICTED_STAGES, MergeNode, ShardScanNode
+
+N_ROWS = 20000
+N_QUERIES = 96
+N_SHARDS = 4
+K = 10
+SEED = 0
+
+
+def _observed(profile) -> float:
+    """The device/host seconds the cost model claims to predict."""
+    return float(sum(profile.get(stage) for stage in PREDICTED_STAGES))
+
+
+def _band_workload():
+    columns = make_adult_like(n=N_ROWS, seed=SEED)
+    order = np.argsort(columns["age"], kind="stable")
+    columns = {name: values[order] for name, values in columns.items()}
+    rng = np.random.default_rng(SEED + 1)
+    rows = rng.choice(N_ROWS, size=N_QUERIES, replace=True)
+    queries = [
+        {"age": (float(columns["age"][int(r)]) - 1.0,
+                 float(columns["age"][int(r)]) + 1.0)}
+        for r in rows
+    ]
+    return columns, queries
+
+
+def _assert_identical(reference, other, context):
+    for ref, got in zip(reference.results, other.results):
+        assert np.array_equal(ref.ids, got.ids), context
+        assert np.array_equal(ref.counts, got.counts), context
+        assert ref.threshold == got.threshold, context
+
+
+def test_cost_model(benchmark, emit, cost_coefficients):
+    # The plan cache is off: a cache hit deliberately reuses the plan
+    # (and predicted cost) priced for the *first* batch of its shape, so
+    # warm-lane predictions go stale by design. This benchmark grades
+    # the model, so every batch must be priced fresh; the cache's own
+    # contract is covered by tests/plan/test_plan_cache.py.
+    session = GenieSession(plan_cache_size=None)
+    session.cost_coefficients = cost_coefficients
+
+    columns, band_queries = _band_workload()
+    band = session.create_index(
+        columns, model="relational", schema=adult_schema(), name="adult",
+        shards=N_SHARDS,
+    )
+
+    rng = np.random.default_rng(SEED)
+    points = rng.normal(size=(8000, 16))
+    ann_queries = list(
+        points[rng.choice(8000, size=64, replace=False)]
+        + 0.01 * rng.normal(size=(64, 16))
+    )
+    ann = session.create_index(
+        points, model="ann-e2lsh", num_functions=32, dim=16, width=4.0,
+        seed=0, domain=1024, name="ann", shards=8, shard_strategy="hash",
+    )
+
+    def replay():
+        run = {"band_pred": [], "band_obs": [], "band_one": 0.0}
+        for query in band_queries:
+            auto = band.search([query], k=K)
+            one = band.search([query], k=K, route="pruned", plan="one-round")
+            _assert_identical(one, auto, "band auto")
+            assert auto.predicted_cost is not None
+            run["band_pred"].append(auto.predicted_cost)
+            run["band_obs"].append(_observed(auto.profile))
+            run["band_one"] += _observed(one.profile)
+            run["band_plan"] = (auto.plan.find(MergeNode).strategy,
+                                auto.routing.pruned_pairs)
+        run["ann_auto"] = ann.search(ann_queries, k=50)
+        run["ann_one"] = ann.search(ann_queries, k=50, plan="one-round")
+        _assert_identical(run["ann_one"], run["ann_auto"], "ann auto")
+        return run
+
+    run = benchmark.pedantic(replay, rounds=1, iterations=1)
+
+    band_pred = np.asarray(run["band_pred"])
+    band_obs = np.asarray(run["band_obs"])
+    band_err = np.abs(band_pred - band_obs) / band_obs
+    band_auto_total = float(band_obs.sum())
+
+    ann_auto, ann_one = run["ann_auto"], run["ann_one"]
+    ann_obs = _observed(ann_auto.profile)
+    ann_err = abs(ann_auto.predicted_cost - ann_obs) / ann_obs
+    ann_scan = ann_auto.plan.find(ShardScanNode)
+    ann_merge = ann_auto.plan.find(MergeNode)
+    ann_speedup = _observed(ann_one.profile) / ann_obs
+
+    accuracy = ResultTable(
+        title="Cost model: predicted vs observed batch seconds (calibrated, seed=0)",
+        columns=["workload", "batches", "mean_rel_err", "p90_rel_err",
+                 "pred_total_us", "obs_total_us"],
+        notes=[
+            "Observed = the simulator's query_transfer+match+select+",
+            "result_merge stage seconds; predicted = the chosen plan's",
+            "priced critical path (SearchResult.predicted_cost). Band:",
+            f"{N_QUERIES} single-query age-band batches, {N_SHARDS} range",
+            "shards. ANN: one 64-query e2lsh batch, 8 hash shards, k=50.",
+        ],
+    )
+    accuracy.add_row(
+        workload="band-range", batches=len(band_obs),
+        mean_rel_err=float(band_err.mean()),
+        p90_rel_err=float(np.quantile(band_err, 0.9)),
+        pred_total_us=float(band_pred.sum()) * 1e6,
+        obs_total_us=band_auto_total * 1e6,
+    )
+    accuracy.add_row(
+        workload="ann-hash", batches=1, mean_rel_err=float(ann_err),
+        p90_rel_err=float(ann_err),
+        pred_total_us=ann_auto.predicted_cost * 1e6,
+        obs_total_us=ann_obs * 1e6,
+    )
+
+    choice = ResultTable(
+        title="Costed auto vs forced one-round (bit-identical results asserted)",
+        columns=["workload", "auto_plan", "one_round_us", "auto_us",
+                 "speedup"],
+        notes=[
+            "auto_plan is what the calibrated planner picked with no",
+            "directives. Band traffic concentrates postings in one shard",
+            "(the busy shard always tops up), so auto must hold the",
+            "pruned one-round plan; the even-spread ANN batch is TPUT's",
+            "home turf, where auto must discover the two-round merge.",
+        ],
+    )
+    band_merge, band_pruned = run["band_plan"]
+    choice.add_row(
+        workload="band-range",
+        auto_plan=f"{band_merge} (pruned)",
+        one_round_us=run["band_one"] * 1e6,
+        auto_us=band_auto_total * 1e6,
+        speedup=run["band_one"] / band_auto_total,
+    )
+    choice.add_row(
+        workload="ann-hash",
+        auto_plan=f"{ann_merge.strategy} (first_round_k={ann_scan.k})",
+        one_round_us=_observed(ann_one.profile) * 1e6,
+        auto_us=ann_obs * 1e6,
+        speedup=ann_speedup,
+    )
+    emit(accuracy, choice)
+
+    assert band_err.mean() <= 0.25, (
+        f"band prediction error {band_err.mean():.2f} exceeds 25%"
+    )
+    assert ann_err <= 0.25, f"ann prediction error {ann_err:.2f} exceeds 25%"
+    assert band_merge == "one-round" and band_pruned > 0, (
+        "costed auto abandoned the pruned one-round plan on band traffic"
+    )
+    assert run["band_one"] / band_auto_total >= 0.95, (
+        "costed auto regressed the band workload vs forced one-round"
+    )
+    assert ann_merge.strategy == "two-round-tput", (
+        "costed auto failed to discover the two-round merge on even spread"
+    )
+    assert ann_speedup >= 1.3, (
+        f"costed auto only {ann_speedup:.2f}x over one-round on TPUT's home workload"
+    )

@@ -21,12 +21,14 @@ The third row runs the two-round TPUT merge on top of routing: round one
 fetches ``ceil(2k/N)`` candidates per shard and the top-up round only
 fires where a shard's round-one threshold proves it necessary. On
 single-shard band traffic the one busy shard always tops up (its
-round-one pool cannot reach ``k``), so TPUT loses there — which is why
-the planner's auto default is the one-round merge and ``plan="two-round"``
-is an escape hatch. The second table shows the workload it is *for*:
+round-one pool cannot reach ``k``), so TPUT loses there. The fourth row
+is the calibrated cost-based ``auto`` (PR 6): the planner prices the
+route x merge lattice per batch and must land on the pruned one-round
+plan by itself. The second table shows the workload two-round is *for*:
 an evenly-spread (hash-sharded) ANN batch at larger ``k``, where the
 round-one pool's cutoff lets most shards skip the top-up and the smaller
-per-shard fetch width wins.
+per-shard fetch width wins (``benchmarks/test_cost_model.py`` shows the
+costed auto discovering that merge unprompted).
 """
 
 import numpy as np
@@ -41,10 +43,15 @@ N_SHARDS = 4
 K = 10
 SEED = 0
 
+# The session is calibrated (PR 6), so bare directives would enumerate
+# and price the lattice; the comparison rows force their strategies and
+# the last row is the costed "auto" — the plan the calibrated planner
+# picks on its own, which must match the best forced row here.
 STRATEGY_ROWS = (
-    ("broadcast", {"route": "broadcast"}),
-    ("routed", {}),
-    ("routed+tput", {"plan": "two-round"}),
+    ("broadcast", {"route": "broadcast", "plan": "one-round"}),
+    ("routed", {"route": "pruned", "plan": "one-round"}),
+    ("routed+tput", {"route": "pruned", "plan": "two-round"}),
+    ("auto (costed)", {}),
 )
 
 
@@ -148,11 +155,12 @@ def _tput_table():
     return table, one_s / two_s
 
 
-def test_plan_routing(benchmark, emit):
+def test_plan_routing(benchmark, emit, cost_coefficients):
     columns = _sorted_adult()
     queries = _age_band_queries(columns)
 
     session = GenieSession()
+    session.cost_coefficients = cost_coefficients
     handle = session.create_index(
         columns, model="relational", schema=adult_schema(), name="adult",
         shards=N_SHARDS,
@@ -183,7 +191,7 @@ def test_plan_routing(benchmark, emit):
             "SearchResult.shard_profiles and are list-scheduled onto the",
             "shard timelines: broadcast occupies every shard per batch,",
             "routed batches overlap on disjoint shards. Results asserted",
-            "bit-identical across all three strategies before reporting.",
+            "bit-identical across all four strategies before reporting.",
             "virtual-device timing: identical numbers on every run/machine.",
         ],
     )
@@ -213,4 +221,8 @@ def test_plan_routing(benchmark, emit):
     )
     assert tput_speedup >= 1.3, (
         f"two-round merge only {tput_speedup:.2f}x on its even-spread workload"
+    )
+    assert speedups["auto (costed)"] >= 0.95 * speedups["routed"], (
+        "costed auto must stay within 5% of the best forced strategy "
+        f"({speedups['auto (costed)']:.2f}x vs {speedups['routed']:.2f}x)"
     )

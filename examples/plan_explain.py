@@ -8,7 +8,11 @@ age, range-partitioned across four simulated shard devices — and shows:
   ``route="broadcast"`` plan,
 * that routed and broadcast execution return bit-identical results while
   the routed plan leaves the pruned shards untouched,
-* the ``plan="two-round"`` TPUT merge escape hatch.
+* the ``plan="two-round"`` TPUT merge escape hatch,
+* cost-based ``auto``: after ``session.calibrate_cost_model()`` the
+  planner prices the route x merge lattice per batch (``cost≈`` lines in
+  ``explain()``), predicts each batch's device seconds, and the plan
+  cache answers repeated query shapes with zero planning cost.
 
 Run with: PYTHONPATH=src python examples/plan_explain.py
 """
@@ -62,6 +66,30 @@ def main():
     assert np.array_equal(routed.results[0].ids, tput.results[0].ids)
     print(tput.plan.render())
     print("still bit-identical (asserted)")
+    print()
+
+    print("calibrating the cost model against the simulated device…")
+    session.calibrate_cost_model(seed=0)
+    print("costed auto plan (priced, cost≈ lines):")
+    print(adult.explain(band, k=K).render())
+    costed = adult.search(band, k=K)
+    observed = sum(
+        costed.profile.get(stage)
+        for stage in ("query_transfer", "match", "select", "result_merge")
+    )
+    assert np.array_equal(routed.results[0].ids, costed.results[0].ids)
+    print(
+        f"predicted {costed.predicted_cost * 1e6:.2f}us, "
+        f"observed {observed * 1e6:.2f}us (still bit-identical, asserted)"
+    )
+    plan_route = session.host.timings.get("plan_route")
+    adult.search(band, k=K)  # same query shape: warm plan-cache lane
+    assert session.host.timings.get("plan_route") == plan_route
+    print(
+        "repeat of the same query shape hit the plan cache: "
+        f"zero additional plan_route seconds "
+        f"(cache stats: {session.plan_cache.stats()})"
+    )
 
 
 if __name__ == "__main__":

@@ -41,9 +41,16 @@ from repro.errors import ConfigError, GpuOutOfMemoryError, QueryError
 from repro.gpu.device import Device
 from repro.gpu.host import HostCpu
 from repro.gpu.stats import StageTimings, timings_delta
+from repro.plan.cache import PlanCache
+from repro.plan.cost import calibrate_session
 from repro.plan.executor import execute_plan
 from repro.plan.nodes import PlanNode, RoutingSummary
-from repro.plan.planner import ShardContext, compile_search
+from repro.plan.planner import (
+    ShardContext,
+    compile_search,
+    eligibility_needed,
+    validate_plan_args,
+)
 
 
 @dataclass(frozen=True)
@@ -140,6 +147,10 @@ class SearchResult:
         routing: Scan/prune pair accounting for sharded plans
             (:class:`~repro.plan.nodes.RoutingSummary`); ``None`` for
             serial plans.
+        predicted_cost: The planner's predicted critical-path seconds
+            when the session's cost model priced this plan (``None`` for
+            serial plans and uncalibrated sessions) — compare against
+            the observed ``profile`` to audit the model.
     """
 
     results: list[TopKResult]
@@ -150,6 +161,7 @@ class SearchResult:
     shard_profiles: tuple[StageTimings, ...] | None = None
     plan: PlanNode | None = None
     routing: RoutingSummary | None = None
+    predicted_cost: float | None = None
 
     @property
     def ids(self) -> list[np.ndarray]:
@@ -213,6 +225,10 @@ class GenieSession:
         residency_log_limit: Number of recent residency events retained in
             :attr:`residency_log` (its ``total_events`` counter keeps the
             lifetime count regardless).
+        plan_cache_size: Compiled plans the session's
+            :class:`~repro.plan.cache.PlanCache` retains (repeated query
+            shapes on sharded indexes skip planning and its
+            ``plan_route`` charge). ``0`` or ``None`` disables the cache.
     """
 
     def __init__(
@@ -222,6 +238,7 @@ class GenieSession:
         config: GenieConfig | None = None,
         memory_budget: int | None = None,
         residency_log_limit: int = 1024,
+        plan_cache_size: int | None = 256,
     ):
         self.device = device if device is not None else Device()
         self.host = host if host is not None else HostCpu()
@@ -245,6 +262,45 @@ class GenieSession:
         # Searches register a sink here to observe their own residency
         # events exactly, independent of the bounded log's retention.
         self._event_sinks: list[list[ResidencyEvent]] = []
+        self.plan_cache = PlanCache(capacity=plan_cache_size) if plan_cache_size else None
+        self._cost_coefficients: dict | None = None
+        self._cost_epoch = 0
+
+    # ------------------------------------------------------------------
+    # cost model
+
+    @property
+    def cost_coefficients(self) -> dict | None:
+        """Fitted :class:`~repro.plan.cost.CostModel` coefficients.
+
+        ``None`` until :meth:`calibrate_cost_model` runs (the planner
+        then follows its rule-based fallbacks). Assigning a dict — the
+        calibration result or a hand-rolled one in tests — bumps the
+        session's cost epoch and flushes the plan cache, so previously
+        cached pricing decisions can never outlive the model that made
+        them.
+        """
+        return self._cost_coefficients
+
+    @cost_coefficients.setter
+    def cost_coefficients(self, coefficients: dict | None) -> None:
+        self._cost_coefficients = dict(coefficients) if coefficients is not None else None
+        self._cost_epoch += 1
+        if self.plan_cache is not None:
+            self.plan_cache.clear()
+
+    def calibrate_cost_model(self, seed: int = 0) -> dict:
+        """Fit the session's cost model from a seeded probe replay.
+
+        Runs :func:`repro.plan.cost.calibrate_session`: a scratch session
+        with this session's device/host specs replays probe workloads and
+        least-squares-fits the per-stage coefficients, so this session's
+        own timings are untouched. Afterwards ``route``/``plan``
+        ``"auto"`` directives on sharded indexes price the candidate
+        lattice instead of following rules, and ``explain()`` shows
+        ``cost≈`` lines.
+        """
+        return calibrate_session(self, seed=seed)
 
     # ------------------------------------------------------------------
     # devices
@@ -437,6 +493,8 @@ class GenieSession:
         self._invalidation_hooks.append(hook)
 
     def _notify_invalidated(self, name: str) -> None:
+        if self.plan_cache is not None:
+            self.plan_cache.invalidate(name)
         for hook in self._invalidation_hooks:
             hook(name)
 
@@ -738,7 +796,10 @@ class IndexHandle:
 
         Both :meth:`search_encoded` and :meth:`explain` funnel through
         here, so an explained plan always reflects exactly what a search
-        with the same arguments would validate and execute.
+        with the same arguments would validate and execute. Sharded
+        compiles consult the session's :class:`~repro.plan.cache.PlanCache`
+        first: a hit skips planning entirely (and its ``plan_route``
+        charge — the decisions were paid at first compile).
         """
         self.session._check_open()
         if not self._parts:
@@ -749,9 +810,42 @@ class IndexHandle:
         if k < 1:
             raise QueryError("k must be >= 1")
         retrieval_k = resolve_shortlist_k(self.model, k, search_opts)
-        return k, compile_search(
+        cache = self.session.plan_cache
+        shards = self._plan_shards()
+        if cache is None or shards is None:
+            return k, compile_search(
+                self, queries, k=k, retrieval_k=retrieval_k, route=route, plan=plan
+            )
+        norm_route, norm_plan = validate_plan_args(route, plan, sharded=True)
+        costed = (
+            bool(self.session.cost_coefficients)
+            and shards.shard_postings is not None
+        )
+        needs_buckets = eligibility_needed(norm_route, shards.strategy, costed)
+        shape = (
+            self.session._cost_epoch, shards.n_shards, shards.strategy,
+            k, retrieval_k, tuple(sorted(search_opts.items())),
+            norm_route, norm_plan,
+        )
+        try:
+            hit = cache.fetch(
+                index=self.name, fit_epoch=self.fit_epoch, shape=shape,
+                needs_buckets=needs_buckets, queries=queries,
+            )
+        except TypeError:  # unhashable search-option values: bypass the cache
+            return k, compile_search(
+                self, queries, k=k, retrieval_k=retrieval_k, route=route, plan=plan
+            )
+        if hit is not None:
+            return k, hit
+        compiled = compile_search(
             self, queries, k=k, retrieval_k=retrieval_k, route=route, plan=plan
         )
+        cache.store(
+            index=self.name, fit_epoch=self.fit_epoch, shape=shape,
+            needs_buckets=needs_buckets, queries=queries, compiled=compiled,
+        )
+        return k, compiled
 
     def encode_queries(self, raw_queries) -> list[Query]:
         """Encode and validate raw queries without searching.
@@ -833,6 +927,7 @@ class IndexHandle:
             shard_profiles=tuple(shard_profiles) if shard_profiles is not None else None,
             plan=compiled.root,
             routing=compiled.routing,
+            predicted_cost=compiled.predicted_cost,
         )
         self.last_result = result
         return result

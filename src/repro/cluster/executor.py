@@ -43,6 +43,7 @@ import numpy as np
 
 from repro.api.session import IndexHandle, _IndexPart
 from repro.cluster.plan import ShardPlan, check_partition_args
+from repro.plan.cost import postings_per_keyword
 from repro.plan.planner import ShardContext
 from repro.core.engine import GenieConfig, GenieEngine
 from repro.core.inverted_index import InvertedIndex
@@ -322,8 +323,11 @@ class ShardedIndexHandle(IndexHandle):
             self.session.host.charge_ops(index.build_ops, stage="index_build")
             # The built index materializes the shard's sorted distinct
             # keywords; seed the slice's routing-bounds cache with the
-            # same array so the planner's table costs nothing extra.
+            # same array so the planner's table costs nothing extra. The
+            # per-keyword posting lengths (the cost model's work
+            # features) come from the same CSR arrays.
             shard._keywords = index.keyword_array
+            shard._posting_counts = postings_per_keyword(index)
             self._parts.append(
                 _IndexPart(
                     self, shard.position,
@@ -353,4 +357,7 @@ class ShardedIndexHandle(IndexHandle):
             strategy=self.shard_strategy,
             shard_keywords=tuple(shard.keywords() for shard in self.plan.shards),
             n_objects=self.plan.n_objects,
+            shard_postings=tuple(
+                shard.posting_counts() for shard in self.plan.shards
+            ),
         )

@@ -83,6 +83,7 @@ class ShardSlice:
     corpus: Corpus
     global_ids: np.ndarray
     _keywords: np.ndarray | None = field(default=None, repr=False)
+    _posting_counts: np.ndarray | None = field(default=None, repr=False)
 
     def __len__(self) -> int:
         return len(self.corpus)
@@ -106,6 +107,27 @@ class ShardSlice:
                 else np.empty(0, dtype=ID_DTYPE)
             )
         return self._keywords
+
+    def posting_counts(self) -> np.ndarray:
+        """Posting-list length per :meth:`keywords` entry, aligned.
+
+        The cost model's per-shard work features: a query's postings
+        touched in this shard is the sum of counts over its keywords
+        present here. Seeded from the fitted shard index (exact — the
+        index builds one posting per raw (object, keyword) pair, no
+        per-object dedup) and computed the same way when unfitted.
+        """
+        if self._posting_counts is None:
+            keywords = self.keywords()
+            arrays = [arr for arr in self.corpus.keyword_arrays if arr.size]
+            if not arrays or keywords.size == 0:
+                self._posting_counts = np.zeros(keywords.size, dtype=np.float64)
+            else:
+                flat = np.concatenate(arrays)
+                self._posting_counts = np.bincount(
+                    np.searchsorted(keywords, flat), minlength=keywords.size
+                ).astype(np.float64)
+        return self._posting_counts
 
 
 class ShardPlan:

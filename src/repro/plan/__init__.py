@@ -30,8 +30,33 @@ Every plan is explainable and forceable::
 Results are **bit-identical** across every strategy (ids, counts, tie
 order, thresholds — property-tested in ``tests/plan/``); the plan only
 changes how much simulated time the answer costs.
+
+PR 6 makes ``"auto"`` cost-based: after
+:meth:`GenieSession.calibrate_cost_model
+<repro.api.session.GenieSession.calibrate_cost_model>` fits the
+:class:`~repro.plan.cost.CostModel`, the planner prices the full
+route x merge lattice and picks the cheapest candidate (``cost≈`` lines
+appear in ``explain()``), and the session's
+:class:`~repro.plan.cache.PlanCache` memoizes compiled plans so
+repeated query shapes skip planning — and its ``plan_route`` host
+charge — entirely.
 """
 
+from repro.plan.cache import PlanCache
+from repro.plan.cost import (
+    COEFFICIENT_NAMES,
+    PREDICTED_STAGES,
+    CostModel,
+    PlanPrice,
+    calibrate_coefficients,
+    calibrate_session,
+    concentration,
+    postings_for_keywords,
+    postings_per_keyword,
+    serial_share,
+    shard_block_matrix,
+    shard_postings_matrix,
+)
 from repro.plan.executor import execute_plan
 from repro.plan.nodes import (
     EncodeNode,
@@ -48,6 +73,7 @@ from repro.plan.planner import (
     CompiledPlan,
     ShardContext,
     compile_search,
+    eligibility_needed,
     first_round_k_for,
     route_queries,
     validate_plan_args,
@@ -66,8 +92,22 @@ __all__ = [
     "compile_search",
     "execute_plan",
     "route_queries",
+    "eligibility_needed",
     "first_round_k_for",
     "validate_plan_args",
     "ROUTE_CHOICES",
     "PLAN_CHOICES",
+    "CostModel",
+    "PlanPrice",
+    "PlanCache",
+    "calibrate_coefficients",
+    "calibrate_session",
+    "concentration",
+    "postings_per_keyword",
+    "postings_for_keywords",
+    "serial_share",
+    "shard_block_matrix",
+    "shard_postings_matrix",
+    "COEFFICIENT_NAMES",
+    "PREDICTED_STAGES",
 ]

@@ -1,0 +1,181 @@
+"""The compiled-plan cache: repeated query *shapes* skip planning.
+
+Steady-state serving traffic repeats shapes, not just exact queries: a
+different age-band value produces a different result (the query-result
+cache misses) but often the *same plan* — same directives, same ``k``,
+same per-query shard eligibility. Compiling that plan again re-runs the
+routing membership test and (when calibrated) the candidate pricing
+pass, host work charged to ``plan_route`` on every batch. This cache
+memoizes the finished :class:`~repro.plan.planner.CompiledPlan` so a
+warm lane pays **zero** compile or ``plan_route`` cost per batch.
+
+Correctness rests on the key being everything the planner's output is a
+function of:
+
+* the index name and its ``fit_epoch`` (a refit changes the shard
+  keyword tables), the session's cost epoch (recalibration changes the
+  pricing), shard count and partition strategy (a re-declared index
+  must miss), ``k`` / ``retrieval_k`` / sorted model options, and the
+  normalized ``route``/``plan`` directives;
+* per query, its *eligibility bucket*: the exact bitmask of shards its
+  keywords appear in, memoized per keyword tuple in a second-level LRU.
+  Exact-by-construction — a coarser bucket (keyword bounds, hashes)
+  could alias two batches whose plans route differently, and a reused
+  wrong route would drop results. When any query's bucket is not
+  memoized yet the batch is a miss, the fresh compile provides the
+  buckets, and the shape is warm from then on. Plans whose directives
+  never consult eligibility (forced/uncalibrated broadcast) key on the
+  per-query elision flag alone.
+
+One deliberate staleness: cost-based choice also reads the batch's
+postings *totals*, which the bucket signature does not capture — two
+batches with identical eligibility but different postings reuse one
+plan. Both plans are bit-identical in results (the planner's
+invariant), so a hit can only be cost-suboptimal, never wrong — the
+standard prepared-plan trade, and the price of skipping the pricing
+pass entirely.
+
+Invalidation is event-driven through the session's existing hook
+machinery (``fit``/``drop`` fire it), and residency is orthogonal: an
+evicted shard swaps back in during execution, the *plan* stays valid.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+
+from repro.errors import ConfigError
+
+
+class PlanCache:
+    """A bounded LRU of compiled plans plus a query-bucket memo.
+
+    Args:
+        capacity: Maximum cached plans (batch-level entries).
+        bucket_capacity: Maximum memoized per-query eligibility buckets.
+    """
+
+    def __init__(self, capacity: int = 256, bucket_capacity: int = 8192):
+        if int(capacity) < 1:
+            raise ConfigError("plan cache capacity must be >= 1")
+        if int(bucket_capacity) < 1:
+            raise ConfigError("plan cache bucket capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.bucket_capacity = int(bucket_capacity)
+        self._plans: OrderedDict[tuple, object] = OrderedDict()
+        self._buckets: OrderedDict[tuple, int] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    # ------------------------------------------------------------------
+    # signatures
+
+    @staticmethod
+    def _bucket_key(index: str, fit_epoch: int, query) -> tuple:
+        return (index, fit_epoch, tuple(int(kw) for kw in query.all_keywords()))
+
+    def _signature(self, index, fit_epoch, needs_buckets, queries):
+        """Per-query shape signature, or ``None`` if a bucket is cold."""
+        signature = []
+        for query in queries:
+            alive = query.num_items > 0
+            if not needs_buckets:
+                signature.append((alive, None))
+                continue
+            key = self._bucket_key(index, fit_epoch, query)
+            mask = self._buckets.get(key)
+            if mask is None:
+                return None
+            self._buckets.move_to_end(key)
+            signature.append((alive, mask))
+        return tuple(signature)
+
+    # ------------------------------------------------------------------
+    # lookup / store
+
+    def fetch(self, *, index, fit_epoch, shape, needs_buckets, queries):
+        """The cached plan for this batch shape, or ``None`` (a miss).
+
+        A hit returns the plan with ``routing_ops`` zeroed: the routing
+        and pricing decisions were paid when the plan was first
+        compiled, so a reuse charges nothing to ``plan_route``.
+        """
+        signature = self._signature(index, fit_epoch, needs_buckets, queries)
+        if signature is None:
+            self.misses += 1
+            return None
+        key = (index, fit_epoch, shape, signature)
+        try:
+            compiled = self._plans.pop(key)
+        except KeyError:
+            self.misses += 1
+            return None
+        self._plans[key] = compiled  # re-insert == MRU bump
+        self.hits += 1
+        return dataclasses.replace(compiled, routing_ops=0.0)
+
+    def store(self, *, index, fit_epoch, shape, needs_buckets, queries, compiled) -> None:
+        """Memoize a freshly compiled plan (and its query buckets)."""
+        if needs_buckets:
+            if compiled.query_buckets is None:
+                return  # the planner computed no exact eligibility: uncacheable
+            signature = []
+            for query, mask in zip(queries, compiled.query_buckets):
+                key = self._bucket_key(index, fit_epoch, query)
+                self._buckets.pop(key, None)
+                self._buckets[key] = int(mask)
+                signature.append((query.num_items > 0, int(mask)))
+            while len(self._buckets) > self.bucket_capacity:
+                self._buckets.popitem(last=False)
+            signature = tuple(signature)
+        else:
+            signature = tuple((query.num_items > 0, None) for query in queries)
+        key = (index, fit_epoch, shape, signature)
+        self._plans.pop(key, None)
+        self._plans[key] = compiled
+        while len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+            self.evictions += 1
+
+    # ------------------------------------------------------------------
+    # invalidation
+
+    def invalidate(self, index: str) -> int:
+        """Drop every plan and bucket of ``index``; returns plans removed.
+
+        Wired to the session's invalidation hooks, so ``fit()`` (epoch
+        bump) and ``drop()`` both land here. The epoch is in the key too
+        — invalidation keeps the cache small, the epoch keeps it right.
+        """
+        stale = [key for key in self._plans if key[0] == index]
+        for key in stale:
+            del self._plans[key]
+        stale_buckets = [key for key in self._buckets if key[0] == index]
+        for key in stale_buckets:
+            del self._buckets[key]
+        self.invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        """Drop all plans and buckets (counters are kept)."""
+        self.invalidations += len(self._plans)
+        self._plans.clear()
+        self._buckets.clear()
+
+    def stats(self) -> dict:
+        """Counters snapshot (deterministic key order)."""
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._plans),
+            "buckets": len(self._buckets),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }

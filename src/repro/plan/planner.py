@@ -36,6 +36,21 @@ applies three rules, each preserving bit-identical results:
 The escape hatches ``route=`` (``"auto"`` / ``"pruned"`` /
 ``"broadcast"``) and ``plan=`` (``"auto"`` / ``"one-round"`` /
 ``"two-round"``) force a strategy instead of letting the rules choose.
+
+When the session carries calibrated cost coefficients
+(:meth:`GenieSession.calibrate_cost_model
+<repro.api.session.GenieSession.calibrate_cost_model>`), ``"auto"``
+directives stop being rules and become *prices*: the planner enumerates
+the legal strategy lattice (route ∈ pruned/broadcast × merge ∈
+one-round/two-round), prices each candidate's critical path with the
+:class:`~repro.plan.cost.CostModel`, and picks the cheapest —
+tie-breaking on aggregate device-seconds plus routing cost, so pruning
+wins ties on concentrated traffic (it frees shards for concurrent
+batches) and broadcast wins them on even spreads (it skips the routing
+pass). The chosen plan's nodes carry ``cost≈`` annotations, and every
+candidate is exact by construction: a wrong cost model can only pick a
+slower plan, never a wrong answer. Uncalibrated sessions fall back to
+the rules above, byte-for-byte.
 """
 
 from __future__ import annotations
@@ -46,6 +61,12 @@ import numpy as np
 
 from repro.core.types import Query
 from repro.errors import QueryError
+from repro.plan.cost import (
+    CostModel,
+    serial_share,
+    shard_block_matrix,
+    shard_postings_matrix,
+)
 from repro.plan.nodes import (
     EncodeNode,
     FinalizeNode,
@@ -62,6 +83,12 @@ ROUTE_CHOICES = ("auto", "pruned", "broadcast")
 #: Accepted values of the ``plan=`` (merge strategy) escape hatch.
 PLAN_CHOICES = ("auto", "one-round", "two-round")
 
+#: Candidates whose predicted critical paths are within this relative
+#: tolerance of the best are considered tied and fall to the tie-break
+#: (aggregate device-seconds + routing seconds). Absorbs coefficient
+#: noise on near-identical candidates so the choice stays stable.
+_PRICE_TOLERANCE = 0.01
+
 
 @dataclass(frozen=True)
 class ShardContext:
@@ -77,12 +104,16 @@ class ShardContext:
             of the corpus contains — the partition bounds routing tests
             queries against.
         n_objects: Global corpus size (threshold re-pinning in the merge).
+        shard_postings: Per shard, the posting-list length aligned with
+            each ``shard_keywords`` entry — the cost model's work
+            features (``None`` when the handle predates cost planning).
     """
 
     n_shards: int
     strategy: str
     shard_keywords: tuple[np.ndarray, ...]
     n_objects: int
+    shard_postings: tuple[np.ndarray, ...] | None = None
 
 
 @dataclass
@@ -113,6 +144,16 @@ class CompiledPlan:
             overlaps device execution, so it does not join the batch's
             critical-path profile. ``0.0`` when no pruning was computed;
             ``explain()`` compiles without executing and never pays it.
+        predicted_cost: The chosen candidate's predicted critical-path
+            seconds when the session's cost model priced this plan
+            (``None`` for serial plans and uncalibrated sessions).
+        query_buckets: Per raw query, the bitmask of shards its keywords
+            appear in (bit ``s`` = shard ``s``; ``0`` for elided
+            queries) — the :class:`~repro.plan.cache.PlanCache` shape
+            signature. Only set when the compile computed exact
+            eligibility; ``None`` otherwise (broadcast ``eligible`` is a
+            convention, not a membership result, and must not seed the
+            cache's bucket memo).
     """
 
     root: PlanNode
@@ -127,6 +168,8 @@ class CompiledPlan:
     first_round_k: int | None
     routing: RoutingSummary | None
     routing_ops: float = 0.0
+    predicted_cost: float | None = None
+    query_buckets: tuple[int, ...] | None = None
 
 
 def validate_plan_args(route, plan, sharded: bool) -> tuple[str, str]:
@@ -136,11 +179,11 @@ def validate_plan_args(route, plan, sharded: bool) -> tuple[str, str]:
     the submitting request, not a coalesced batch. The returned forms
     are canonical: directives that compile to the same strategy compare
     equal, so the server's coalescing lanes never split semantically
-    identical requests. ``plan`` in particular canonicalizes ``"auto"``
-    to ``"one-round"`` — today's auto merge is always one-round; if auto
-    ever becomes contextual, this canonicalization (not the lane logic)
-    is the line to revisit. ``route="auto"`` stays distinct from the
-    explicit forms because its meaning depends on the partition strategy.
+    identical requests. Both ``"auto"`` forms stay distinct from the
+    explicit choices because their meaning is contextual — ``route``
+    depends on the partition strategy and ``plan`` on the session's cost
+    calibration — so forcing a strategy and letting the planner choose
+    it must land in different lanes.
 
     Raises:
         QueryError: Unknown value, or a shard-only strategy forced on a
@@ -162,9 +205,20 @@ def validate_plan_args(route, plan, sharded: bool) -> tuple[str, str]:
                 "plan='two-round' requires a sharded index (the two-round "
                 "merge trades shard fetch width against a top-up round)"
             )
-    if plan == "auto":
-        plan = "one-round"
     return route, plan
+
+
+def eligibility_needed(route: str, strategy: str, costed: bool) -> bool:
+    """Whether compiling ``route`` computes exact per-query eligibility.
+
+    The single source of truth shared by :func:`compile_search` and the
+    plan cache's key construction: forced pruning always needs it, and
+    ``route="auto"`` needs it when the rules would prune (range
+    partitions) or when a calibrated cost model is about to price the
+    pruned candidate. Forced broadcast never does — which is also why
+    broadcast-only shapes can cache without the bucket memo.
+    """
+    return route == "pruned" or (route == "auto" and (costed or strategy == "range"))
 
 
 def route_queries(
@@ -218,6 +272,28 @@ def first_round_k_for(retrieval_k: int, n_shards: int) -> int:
     return max(1, min(int(retrieval_k) - 1, over_fetch))
 
 
+def _merge_strategy(plan_choice: str, retrieval_k: int, n_shards: int):
+    """Resolve a plan directive to ``(merge, first_round_k)``.
+
+    A ``"two-round"`` request degenerates to one-round when there is a
+    single shard or the round-one width cannot undercut ``retrieval_k``
+    (nothing to save) — same guard the rule-based path applies.
+    """
+    if plan_choice == "two-round":
+        first_k = first_round_k_for(retrieval_k, n_shards)
+        if n_shards > 1 and first_k < retrieval_k:
+            return "two-round-tput", first_k
+    return "one-round", None
+
+
+def _session_cost_model(handle) -> CostModel | None:
+    """The handle's session cost model, or ``None`` when uncalibrated."""
+    coefficients = getattr(getattr(handle, "session", None), "cost_coefficients", None)
+    if not coefficients:
+        return None
+    return CostModel(coefficients)
+
+
 def compile_search(
     handle,
     queries: list[Query],
@@ -266,25 +342,119 @@ def compile_search(
         routing = None
         first_k = None
         routing_ops = 0.0
+        chosen_price = None
+        query_buckets = None
     else:
         # Rule 2: shard pruning (range partitions by default), applied at
         # batch granularity: a shard eligible for any query scans the
         # whole batch; a shard eligible for none is skipped entirely.
+        # With a calibrated cost model, "auto" directives instead price
+        # every candidate in the (route x merge) lattice and pick the
+        # cheapest — every candidate is exact, so pricing only moves cost.
         everyone = np.arange(len(active), dtype=np.int64)
-        prune = route == "pruned" or (route == "auto" and shards.strategy == "range")
+        cost_model = _session_cost_model(handle)
+        costed = (
+            cost_model is not None
+            and shards.shard_postings is not None
+            and len(active) > 0
+        )
+        total_keywords = float(sum(q.num_keywords for q in active_queries))
+        # One binary search per (query keyword, shard) into the shard's
+        # keyword bounds — the host cost of a routing/feature pass.
+        lookup_ops = total_keywords * sum(
+            np.log2(max(kw.size, 2)) for kw in shards.shard_keywords
+        )
         routing_ops = 0.0
-        if prune:
-            eligible = route_queries(active_queries, shards.shard_keywords)
-            routes = [everyone if e.size else e for e in eligible]
-            # The decision itself is host work: one binary search per
-            # (query keyword, shard) into the shard's keyword bounds.
-            total_keywords = float(sum(q.num_keywords for q in active_queries))
-            routing_ops = total_keywords * sum(
-                np.log2(max(kw.size, 2)) for kw in shards.shard_keywords
+        exact_eligible = None
+        query_buckets = None
+        if eligibility_needed(route, shards.strategy, costed):
+            exact_eligible = route_queries(active_queries, shards.shard_keywords)
+            routing_ops += lookup_ops
+            masks = [0] * len(queries)
+            for s, positions in enumerate(exact_eligible):
+                for j in positions:
+                    masks[active[int(j)]] |= 1 << s
+            query_buckets = tuple(masks)
+
+        chosen_price = None
+        if costed:
+            # Feature extraction is a second lookup pass over the shard
+            # keyword tables; the pricing decision is accounted like the
+            # routing decision, not free.
+            matrix = shard_postings_matrix(
+                active_queries, shards.shard_keywords, shards.shard_postings
             )
+            batch_postings = matrix.sum(axis=0)
+            batch_blocks = shard_block_matrix(
+                active_queries, shards.shard_keywords, shards.shard_postings
+            ).sum(axis=0)
+            batch_hot = serial_share(
+                batch_postings, batch_blocks, handle.session.device.spec.num_sms
+            )
+            batch_bound = max(q.count_bound() for q in active_queries)
+            routing_ops += lookup_ops
+            host = handle.session.host
+            seconds_per_op = 1.0 / (host.spec.ops_per_second * host.cores)
+            route_opts = ("pruned", "broadcast") if route == "auto" else (route,)
+            plan_opts = ("one-round", "two-round") if plan == "auto" else (plan,)
+            candidates = []
+            for route_choice in route_opts:
+                if route_choice == "pruned":
+                    routes_c = [everyone if e.size else e for e in exact_eligible]
+                    route_seconds = lookup_ops * seconds_per_op
+                else:
+                    routes_c = [everyone for _ in range(shards.n_shards)]
+                    route_seconds = 0.0
+                scanned = [s for s in range(shards.n_shards) if routes_c[s].size]
+                scanned_postings = [float(batch_postings[s]) for s in scanned]
+                scanned_hot = [float(batch_hot[s]) for s in scanned]
+                seen_merges = set()
+                for plan_choice in plan_opts:
+                    merge_c, first_c = _merge_strategy(
+                        plan_choice, retrieval_k, shards.n_shards
+                    )
+                    if merge_c in seen_merges:
+                        continue  # two-round degenerated into one-round
+                    seen_merges.add(merge_c)
+                    price = cost_model.price(
+                        n_queries=len(active),
+                        keywords=total_keywords,
+                        shard_postings=scanned_postings,
+                        n_shards=shards.n_shards,
+                        retrieval_k=retrieval_k,
+                        merge=merge_c,
+                        first_round_k=first_c,
+                        route_seconds=route_seconds,
+                        shard_hot=scanned_hot,
+                        count_bound=batch_bound,
+                    )
+                    candidates.append((route_choice, merge_c, first_c, routes_c, price))
+            best_path = min(c[4].critical_path for c in candidates)
+            threshold = best_path * (1.0 + _PRICE_TOLERANCE) + 1e-15
+            viable = [c for c in candidates if c[4].critical_path <= threshold]
+            # min() is stable, so exact ties keep the enumeration order:
+            # pruned before broadcast, one-round before two-round.
+            route_choice, merge, first_k, routes, chosen_price = min(
+                viable, key=lambda c: c[4].busy_seconds + c[4].route_seconds
+            )
+            routes = list(routes)
+            if route_choice == "pruned":
+                eligible = exact_eligible
+            else:
+                eligible = [everyone for _ in range(shards.n_shards)]
         else:
-            eligible = [everyone for _ in range(shards.n_shards)]
-            routes = list(eligible)
+            prune = exact_eligible is not None
+            if prune:
+                eligible = exact_eligible
+                routes = [everyone if e.size else e for e in eligible]
+            else:
+                eligible = [everyone for _ in range(shards.n_shards)]
+                routes = list(eligible)
+            # Rule 3: two-round TPUT merge (opt-in; exact by construction).
+            first_k = None
+            merge = "one-round"
+            if plan == "two-round":
+                merge, first_k = _merge_strategy(plan, retrieval_k, shards.n_shards)
         scanned_pairs = int(sum(r.size for r in routes))
         total_pairs = shards.n_shards * len(active)
         routing = RoutingSummary(
@@ -293,15 +463,6 @@ def compile_search(
             scanned_pairs=scanned_pairs,
             pruned_pairs=total_pairs - scanned_pairs,
         )
-        # Rule 3: two-round TPUT merge (opt-in; exact by construction).
-        first_k = None
-        merge = "one-round"
-        if plan == "two-round":
-            first_k = first_round_k_for(retrieval_k, shards.n_shards)
-            if shards.n_shards > 1 and first_k < retrieval_k:
-                merge = "two-round-tput"
-            else:
-                first_k = None  # one shard or k == 1: nothing to save
         scan = ShardScanNode(
             index=handle.name,
             strategy=shards.strategy,
@@ -311,9 +472,14 @@ def compile_search(
             eligible=tuple(tuple(int(active[j]) for j in e) for e in eligible),
             broadcast=routing.broadcast,
             inputs=(encode,),
+            cost=chosen_price.scan_seconds if chosen_price is not None else None,
         )
         root = MergeNode(
-            strategy=merge, k=retrieval_k, first_round_k=first_k, inputs=(scan,)
+            strategy=merge,
+            k=retrieval_k,
+            first_round_k=first_k,
+            inputs=(scan,),
+            cost=chosen_price.merge_seconds if chosen_price is not None else None,
         )
 
     if getattr(handle.model, "finalize", None) is not None:
@@ -332,4 +498,6 @@ def compile_search(
         first_round_k=first_k,
         routing=routing,
         routing_ops=routing_ops,
+        predicted_cost=chosen_price.critical_path if chosen_price is not None else None,
+        query_buckets=query_buckets,
     )

@@ -61,6 +61,9 @@ class ServeMetrics:
         routed_batches: Sharded batches whose plan pruned at least one
             (query, shard) scan pair instead of broadcasting (see
             :class:`repro.plan.nodes.RoutingSummary`).
+        plan_cache: The session's :class:`~repro.plan.cache.PlanCache`
+            when the server wired one in (its hit/miss/invalidation
+            counters join :meth:`snapshot`); ``None`` reports zeros.
     """
 
     def __init__(self):
@@ -84,6 +87,7 @@ class ServeMetrics:
         self.last_completion: float | None = None
         self._latencies: list[float] = []
         self._queue_times: list[float] = []
+        self.plan_cache = None
 
     # ------------------------------------------------------------------
     # recording
@@ -229,6 +233,13 @@ class ServeMetrics:
             "shard_imbalance": self.shard_imbalance,
             "elapsed_seconds": self.elapsed_seconds,
             "throughput_qps": self.throughput,
+            "plan_cache_hits": self.plan_cache.hits if self.plan_cache is not None else 0,
+            "plan_cache_misses": (
+                self.plan_cache.misses if self.plan_cache is not None else 0
+            ),
+            "plan_cache_invalidations": (
+                self.plan_cache.invalidations if self.plan_cache is not None else 0
+            ),
         }
         for p in REPORTED_PERCENTILES:
             snap[f"latency_p{p:g}"] = self.latency(p)

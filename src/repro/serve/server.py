@@ -225,6 +225,9 @@ class GenieServer:
         if self.cache is not None:
             session.add_invalidation_hook(self.cache.invalidate)
         self.metrics = ServeMetrics()
+        # Surface the session's plan-cache counters in snapshot(): warm
+        # lanes skipping compilation is a serving property worth watching.
+        self.metrics.plan_cache = session.plan_cache
         self._seq = 0
         self._device_free = 0.0
         self._closed = False
@@ -273,16 +276,9 @@ class GenieServer:
         k = int(k if k is not None else handle.config.k)
         if k < 1:
             raise QueryError("k must be >= 1")
-        sharded = getattr(handle, "n_shards", None) is not None
-        # Server-wide defaults are shard strategies; a serial index on a
-        # mixed-index server must stay servable, so it ignores them.
-        if route is None:
-            route = self.route if sharded else None
-        if plan is None:
-            plan = self.plan if sharded else None
         # The normalized forms go into the lane so equivalent directives
         # (None vs the explicit "auto") coalesce into one batch.
-        route, plan = validate_plan_args(route, plan, sharded=sharded)
+        route, plan = self._resolve_directives(handle, route, plan)
         opts_key = tuple(sorted(opts.items()))
         resolve_shortlist_k(handle.model, k, opts)  # validates the options eagerly
         query = handle.encode_queries([raw_query])[0]
@@ -337,6 +333,46 @@ class GenieServer:
             self.submit(index, raw, k=k, route=route, plan=plan, **opts)
             for raw in raw_queries
         ]
+
+    def _resolve_directives(self, handle, route, plan) -> tuple[str, str]:
+        """Resolve per-request ``route``/``plan`` against server defaults.
+
+        Server-wide defaults are shard strategies; a serial index on a
+        mixed-index server must stay servable, so it ignores them (an
+        explicit per-request directive is still validated strictly).
+        Shared by :meth:`submit` and :meth:`explain`, so an explained
+        plan always reflects what a submit with the same arguments would
+        execute.
+        """
+        sharded = getattr(handle, "n_shards", None) is not None
+        if route is None:
+            route = self.route if sharded else None
+        if plan is None:
+            plan = self.plan if sharded else None
+        return validate_plan_args(route, plan, sharded=sharded)
+
+    def explain(
+        self,
+        index: str,
+        raw_query,
+        k: int | None = None,
+        route: str | None = None,
+        plan: str | None = None,
+        **opts,
+    ):
+        """The plan a :meth:`submit` with these arguments would execute.
+
+        Directive resolution is shared with :meth:`submit` — server-wide
+        ``route``/``plan`` defaults apply to sharded indexes and
+        per-request overrides win — then delegates to
+        :meth:`IndexHandle.explain <repro.api.session.IndexHandle.explain>`.
+        Nothing is admitted, executed, or charged.
+        """
+        self._check_open()
+        self.session._check_open()
+        handle = self.session.index(index)
+        route, plan = self._resolve_directives(handle, route, plan)
+        return handle.explain([raw_query], k=k, route=route, plan=plan, **opts)
 
     @staticmethod
     def _cache_key(handle, index, raw_query, query, k, opts_key):

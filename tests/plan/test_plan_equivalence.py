@@ -15,6 +15,7 @@ from hypothesis import strategies as st
 
 from repro.api import GenieSession
 from repro.core.types import Query
+from repro.plan import COEFFICIENT_NAMES
 from repro.sa.relational import AttributeSpec
 
 #: Every (route, plan) strategy combination the planner can execute.
@@ -191,6 +192,43 @@ def test_routing_actually_prunes_on_sorted_range_data():
         assert routed.profile.query_total() <= broadcast.profile.query_total() * (1 + 1e-9)
     assert pruned_total > 0
     assert routed_busy < broadcast_busy
+
+
+# ----------------------------------------------------------------------
+# costed "auto" under adversarial calibration
+
+#: Deliberately wrong coefficient dicts. The planner's invariant is that
+#: pricing only ever *selects among exact candidates*, so no calibration
+#: — absurd, negative, degenerate, or partial — can change results.
+MISCALIBRATIONS = (
+    {name: 1.0 for name in COEFFICIENT_NAMES},      # everything costs seconds
+    {name: -1.0 for name in COEFFICIENT_NAMES},     # negative: clamps to free
+    {name: 0.0 for name in COEFFICIENT_NAMES},      # all candidates tie
+    {"scan.hot": 5e3},                              # partial: missing keys read 0
+    {"topup.const": -7.0, "topup.concentration": 99.0,
+     "scan.gated": 1e6, "merge.ops": -3.0},         # inconsistent mixture
+)
+
+
+@pytest.mark.parametrize("coefficients", MISCALIBRATIONS,
+                         ids=["huge", "negative", "zero", "partial", "mixed"])
+@pytest.mark.parametrize("strategy", ["range", "hash"])
+def test_miscalibrated_auto_stays_bit_identical(coefficients, strategy):
+    rng = np.random.default_rng(11)
+    objects = [np.unique(rng.integers(0, 24, size=4)).tolist() for _ in range(60)]
+    batches = [[np.sort(rng.choice(24, size=3, replace=False)).tolist()
+                for _ in range(4)] for _ in range(3)]
+    reference_handle = GenieSession().create_index(objects, model="raw", name="ref")
+
+    session = GenieSession()
+    session.cost_coefficients = coefficients
+    handle = session.create_index(
+        objects, model="raw", name="sharded", shards=4, shard_strategy=strategy,
+    )
+    for batch in batches:
+        for k in (1, 5):
+            reference = reference_handle.search(batch, k=k)
+            assert_bit_identical(reference, handle.search(batch, k=k))
 
 
 def test_two_round_merge_tops_up_only_when_needed():

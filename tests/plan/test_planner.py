@@ -142,10 +142,14 @@ class TestEscapeHatchValidation:
             validate_plan_args(None, "two-round", sharded=False)
 
     def test_auto_accepted_and_canonicalized(self):
-        # plan="auto" always compiles to the one-round merge today, so it
-        # canonicalizes — semantically identical directives compare equal
-        # and the server's coalescing lanes never split them.
-        assert validate_plan_args(None, None, sharded=False) == ("auto", "one-round")
+        # plan="auto" stays "auto" after validation — a calibrated
+        # session resolves it per batch (the choice depends on the query
+        # shape), so it cannot canonicalize to a fixed merge. Explicit
+        # directives normalize to themselves, and distinct directives
+        # stay distinct so the server's coalescing lanes never mix a
+        # forced plan with a costed one.
+        assert validate_plan_args(None, None, sharded=False) == ("auto", "auto")
+        assert validate_plan_args("auto", "auto", sharded=False) == ("auto", "auto")
         assert validate_plan_args("auto", "one-round", sharded=False) == ("auto", "one-round")
         assert validate_plan_args(None, "two-round", sharded=True) == ("auto", "two-round")
 

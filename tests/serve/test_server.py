@@ -295,8 +295,11 @@ class TestPlannerDirectives:
             server.submit("serial", DOCS[0], k=2, route="broadcast")
 
     def test_normalized_directives_share_a_lane(self):
-        # None, the explicit "auto", and plan="one-round" all compile to
-        # the same plan, so they must coalesce into one batch.
+        # None and the explicit "auto" normalize identically, so they
+        # must coalesce into one batch. A forced plan="one-round" is a
+        # *different* directive — on a calibrated session auto may
+        # resolve per batch, so the lanes must not mix a forced merge
+        # with a costed one.
         session = GenieSession()
         session.create_index(DOCS, model="document", name="sharded", shards=2)
         server = GenieServer(
@@ -307,9 +310,9 @@ class TestPlannerDirectives:
         b = server.submit("sharded", DOCS[1], k=2, route="auto", plan="auto")
         c = server.submit("sharded", DOCS[2], k=2, plan="one-round")
         server.drain()
-        assert a.metadata.batch_size == 3
-        assert b.metadata.batch_size == 3
-        assert c.metadata.batch_size == 3
+        assert a.metadata.batch_size == 2
+        assert b.metadata.batch_size == 2
+        assert c.metadata.batch_size == 1
 
     def test_bad_server_default_fails_at_construction(self):
         # Constructor misconfiguration is ConfigError (like every other
@@ -333,3 +336,81 @@ class TestPlannerDirectives:
         server.drain()
         assert a.metadata.batch_size == 1
         assert b.metadata.batch_size == 1
+
+
+class TestServerExplain:
+    def test_explain_resolves_server_defaults_like_submit(self):
+        session = GenieSession()
+        session.create_index(DOCS, model="document", name="sharded", shards=2)
+        server = GenieServer(
+            session, policy=BatchPolicy.fifo(), cache_size=None,
+            route="broadcast",
+        )
+        rendered = server.explain("sharded", DOCS[0], k=2).render()
+        assert "broadcast" in rendered
+
+    def test_per_request_directive_overrides_the_default(self):
+        session = GenieSession()
+        session.create_index(DOCS, model="document", name="sharded", shards=2)
+        server = GenieServer(
+            session, policy=BatchPolicy.fifo(), cache_size=None,
+            plan="two-round",
+        )
+        assert "two-round-tput" in server.explain("sharded", DOCS[0], k=4).render()
+        rendered = server.explain("sharded", DOCS[0], k=4, plan="one-round").render()
+        assert "Merge(one-round" in rendered
+
+    def test_explain_on_serial_index_ignores_shard_defaults(self):
+        # Same leniency as submit: server-wide directives are shard
+        # strategies and must not poison a serial index's explain.
+        server = self._mixed_server(route="broadcast", plan="two-round")
+        rendered = server.explain("serial", DOCS[0], k=2).render()
+        assert rendered.startswith("Scan(")
+
+    def test_explain_matches_what_submit_executes(self):
+        server = self._mixed_server(plan="two-round")
+        explained = server.explain("sharded", DOCS[0], k=4)
+        future = server.submit("sharded", DOCS[0], k=4)
+        server.drain()
+        assert future.done()
+        executed = server.session.index("sharded").last_result
+        assert executed.plan.render() == explained.render()
+
+    def test_explain_admits_and_charges_nothing(self):
+        server = self._mixed_server()
+        before = server.snapshot()
+        server.explain("sharded", DOCS[0], k=2)
+        after = server.snapshot()
+        assert after["submitted"] == before["submitted"]
+        assert after["batches"] == before["batches"]
+        assert server.session.host.timings.get("plan_route") == 0.0
+
+    def test_explain_validates_like_submit(self):
+        server = self._mixed_server()
+        with pytest.raises(ConfigError, match="no index named"):
+            server.explain("nope", DOCS[0])
+        with pytest.raises(QueryError, match="requires a sharded index"):
+            server.explain("serial", DOCS[0], k=2, route="broadcast")
+
+    _mixed_server = TestPlannerDirectives._mixed_server
+
+
+class TestPrunedFractionRegressions:
+    def test_all_broadcast_traffic_reports_zero(self):
+        # pruned_shard_fraction must read 0.0 — not NaN, not a division
+        # error — when every sharded batch broadcast (nothing avoided).
+        session = GenieSession()
+        session.create_index(DOCS, model="document", name="sharded", shards=2)
+        server = GenieServer(session, policy=BatchPolicy.fifo(), cache_size=None)
+        for i in range(3):
+            server.submit("sharded", DOCS[i], k=2, route="broadcast")
+        server.drain()
+        snap = server.snapshot()
+        assert snap["sharded_batches"] == 3
+        assert snap["pruned_shard_fraction"] == 0.0
+
+    def test_serial_only_traffic_reports_zero(self):
+        server = make_server(BatchPolicy.fifo())
+        server.submit("tweets", DOCS[0], k=2)
+        server.drain()
+        assert server.snapshot()["pruned_shard_fraction"] == 0.0
