@@ -109,6 +109,20 @@ class BaseMatchModel:
             )
         return k
 
+    def encode_increment(self, data) -> Corpus:
+        """Encode an online-ingest batch against the *fitted* state.
+
+        Streaming insert/update (:mod:`repro.stream`) must not refit the
+        encoders — a delta batch has to land in the same keyword space as
+        the base corpus. Only models whose corpus encoding is stateless
+        (or can reuse frozen fitted state) support this; the default
+        refuses, which is the correct answer for models that learn
+        vocabulary/discretizers/points from the full corpus.
+        """
+        raise ConfigError(
+            f"model {self.name!r} does not support online ingest; refit instead"
+        )
+
 
 # ----------------------------------------------------------------------
 # registry
@@ -212,6 +226,11 @@ class RawModel(BaseMatchModel):
 
     def encode_corpus(self, data) -> Corpus:
         return data if isinstance(data, Corpus) else Corpus(data)
+
+    def encode_increment(self, data) -> Corpus:
+        # Identity encoding carries no fitted state: a delta batch lands
+        # in the same keyword space as the base corpus by construction.
+        return self.encode_corpus(data)
 
     def encode_queries(self, data) -> list[Query]:
         return [q if isinstance(q, Query) else Query.from_keywords(q) for q in data]

@@ -49,6 +49,7 @@ from repro.plan.planner import (
     ShardContext,
     compile_search,
     eligibility_needed,
+    reprice_plan,
     validate_plan_args,
 )
 
@@ -333,6 +334,7 @@ class GenieSession:
         shards: int | None = None,
         shard_strategy: str = "range",
         shard_seed: int = 0,
+        stream_config=None,
         **model_kwargs,
     ) -> "IndexHandle":
         """Encode ``data`` with ``model`` and register a fitted index.
@@ -359,6 +361,10 @@ class GenieSession:
                 (sharding multiplexes space, multi-loading time).
             shard_strategy: ``"range"`` or ``"hash"`` partitioning.
             shard_seed: Hash-partition seed.
+            stream_config: :class:`~repro.stream.StreamConfig` governing
+                online ``insert``/``delete``/``update`` on the handle
+                (segment seal size, compaction thresholds); defaults
+                apply when omitted and the handle is mutated.
             model_kwargs: Forwarded to the model factory for string specs.
 
         Returns:
@@ -367,7 +373,7 @@ class GenieSession:
         handle = self.declare_index(
             model, name=name, config=config, part_size=part_size,
             swap_parts=swap_parts, shards=shards, shard_strategy=shard_strategy,
-            shard_seed=shard_seed, **model_kwargs,
+            shard_seed=shard_seed, stream_config=stream_config, **model_kwargs,
         )
         return handle.fit(data)
 
@@ -381,6 +387,7 @@ class GenieSession:
         shards: int | None = None,
         shard_strategy: str = "range",
         shard_seed: int = 0,
+        stream_config=None,
         **model_kwargs,
     ) -> "IndexHandle":
         """Register an *unfitted* index; call :meth:`IndexHandle.fit` later.
@@ -417,6 +424,8 @@ class GenieSession:
                 self, name, model, resolved_config,
                 part_size=part_size, swap_parts=swap_parts,
             )
+        if stream_config is not None:
+            handle.stream_config = stream_config
         self._handles[name] = handle
         return handle
 
@@ -608,6 +617,11 @@ class IndexHandle:
         self.last_result: SearchResult | None = None
         self.fit_epoch = 0
         self._parts: list[_IndexPart] = []
+        # Online-mutation state (repro.stream), attached lazily on the
+        # first insert/delete/update; ``stream_config`` tunes its seal
+        # and compaction thresholds.
+        self.stream_config = None
+        self._stream = None
         # The primary engine exists before fit so configuration is
         # inspectable (and legacy wrappers can expose `.engine`).
         self._engine0 = GenieEngine(
@@ -635,7 +649,14 @@ class IndexHandle:
     @property
     def device_bytes(self) -> int:
         """Device bytes the whole index occupies when fully resident."""
-        return sum(part.device_bytes for part in self._parts)
+        return sum(part.device_bytes for part in self._all_parts())
+
+    def _all_parts(self) -> list[_IndexPart]:
+        """Base parts plus any materialized delta-segment parts."""
+        parts = list(self._parts)
+        if self._stream is not None:
+            parts.extend(self._stream.attached_parts())
+        return parts
 
     @property
     def resident_parts(self) -> int:
@@ -664,6 +685,7 @@ class IndexHandle:
         if not isinstance(corpus, Corpus):
             corpus = Corpus(corpus)
         self.evict()
+        self._stream = None  # a refit abandons any live mutations
         self._parts = []
         return corpus
 
@@ -703,10 +725,104 @@ class IndexHandle:
         return self
 
     def evict(self) -> None:
-        """Release every resident part of this index."""
-        for part in self._parts:
+        """Release every resident part of this index (delta parts too)."""
+        for part in self._all_parts():
             if part.resident:
                 self.session._evict_part(part)
+
+    def _rebuild_base(self, corpus: Corpus) -> None:
+        """Swap in a freshly built base over ``corpus`` (stream compaction).
+
+        Rebuilds every part index on the host first (charging
+        ``index_build``), then replaces the old parts under the session's
+        residency machinery — atomic to any observer, since no search
+        runs mid-swap in the synchronous session. Deliberately *not*
+        :meth:`fit`: no epoch bump, no invalidation hooks (results are
+        unchanged by construction; the caller handles plan staleness).
+        """
+        if self.part_size is None:
+            slices = [(0, corpus)]
+        else:
+            slices = [
+                (start, Corpus(corpus.keyword_arrays[start : start + self.part_size]))
+                for start in range(0, len(corpus), self.part_size)
+            ]
+        built = []
+        for position, (offset, part_corpus) in enumerate(slices):
+            index = InvertedIndex.build(part_corpus, load_balance=self.config.load_balance)
+            self.session.host.charge_ops(index.build_ops, stage="index_build")
+            built.append((position, offset, part_corpus, index))
+        self.evict()
+        self._parts = [
+            _IndexPart(self, position, self._part_engine(position), part_corpus, index, offset)
+            for position, offset, part_corpus, index in built
+        ]
+        if self.part_size is None and self._parts and not self.swap_parts:
+            self.session._ensure_resident(self._parts[0])
+
+    # ------------------------------------------------------------------
+    # online mutations (see repro.stream)
+
+    def _stream_state(self):
+        self.session._check_open()
+        if not self._parts:
+            raise QueryError("index must be fitted before mutating")
+        if self._stream is None:
+            from repro.stream import StreamState
+
+            self._stream = StreamState(self, self.stream_config)
+        return self._stream
+
+    def insert(self, objects) -> np.ndarray:
+        """Add objects online without refitting; returns their global ids.
+
+        The objects land in mutable delta segments composed with the base
+        index at search time — results stay bit-identical to a
+        from-scratch refit (see :mod:`repro.stream`). Only models whose
+        encoders are corpus-stateless support this
+        (``model.encode_increment``); stateful models raise
+        :class:`~repro.errors.ConfigError` and must refit.
+        """
+        return self._stream_state().insert(objects)
+
+    def delete(self, ids) -> None:
+        """Remove live objects by global id, online (all-or-nothing)."""
+        self._stream_state().delete(ids)
+
+    def update(self, obj_id: int, obj) -> None:
+        """Replace one live object's contents, keeping its global id."""
+        self._stream_state().update(obj_id, obj)
+
+    def compact(self) -> bool:
+        """Fold live deltas and tombstones into a fresh CSR base.
+
+        Returns ``False`` when there is nothing to compact. Automatic
+        threshold-driven compaction runs after every mutation unless
+        ``stream_config`` disables it; this is the manual trigger.
+        """
+        self.session._check_open()
+        if self._stream is None:
+            return False
+        return self._stream.compact()
+
+    @property
+    def manifest(self):
+        """The stream's :class:`~repro.stream.SegmentManifest` (``None``
+        before the first mutation)."""
+        return self._stream.manifest if self._stream is not None else None
+
+    @property
+    def mutation_epoch(self) -> int:
+        """Mutations applied since the last fit (0 before any)."""
+        return self._stream.manifest.mutation_epoch if self._stream is not None else 0
+
+    def _plan_epoch(self):
+        """Plan-cache epoch: the fit epoch, plus the compaction epoch
+        once a stream exists (a compaction rewrites the shard keyword
+        tables the planner routes against)."""
+        if self._stream is None:
+            return self.fit_epoch
+        return (self.fit_epoch, self._stream.manifest.base_epoch)
 
     # ------------------------------------------------------------------
     # search
@@ -822,14 +938,16 @@ class IndexHandle:
             and shards.shard_postings is not None
         )
         needs_buckets = eligibility_needed(norm_route, shards.strategy, costed)
+        dirty = self._stream is not None and self._stream.dirty
         shape = (
             self.session._cost_epoch, shards.n_shards, shards.strategy,
             k, retrieval_k, tuple(sorted(search_opts.items())),
-            norm_route, norm_plan,
+            norm_route, norm_plan, dirty,
         )
+        plan_epoch = self._plan_epoch()
         try:
             hit = cache.fetch(
-                index=self.name, fit_epoch=self.fit_epoch, shape=shape,
+                index=self.name, fit_epoch=plan_epoch, shape=shape,
                 needs_buckets=needs_buckets, queries=queries,
             )
         except TypeError:  # unhashable search-option values: bypass the cache
@@ -837,12 +955,15 @@ class IndexHandle:
                 self, queries, k=k, retrieval_k=retrieval_k, route=route, plan=plan
             )
         if hit is not None:
-            return k, hit
+            # Reuse the cached decision, but re-extract this batch's cost
+            # features so the reported predicted_cost describes *these*
+            # queries, not whichever batch compiled the plan first.
+            return k, reprice_plan(self, hit, queries)
         compiled = compile_search(
             self, queries, k=k, retrieval_k=retrieval_k, route=route, plan=plan
         )
         cache.store(
-            index=self.name, fit_epoch=self.fit_epoch, shape=shape,
+            index=self.name, fit_epoch=plan_epoch, shape=shape,
             needs_buckets=needs_buckets, queries=queries, compiled=compiled,
         )
         return k, compiled

@@ -339,6 +339,38 @@ class ShardedIndexHandle(IndexHandle):
             self.session._ensure_resident(part)
         return self
 
+    def _rebuild_base(self, corpus: Corpus) -> None:
+        """Repartition ``corpus`` into fresh shard indexes (compaction).
+
+        Sharded twin of :meth:`IndexHandle._rebuild_base`: same partition
+        strategy and seed, every shard rebuilt host-side (charging
+        ``index_build``), then swapped in under the residency budget. No
+        epoch bump or invalidation — results are unchanged by
+        construction; the stream state invalidates the plan cache itself
+        (the shard keyword tables did change).
+        """
+        plan = ShardPlan.build(corpus, self.n_shards, self.shard_strategy, self.shard_seed)
+        devices = self.session.shard_devices(self.n_shards)
+        built = []
+        for shard in plan.shards:
+            index = InvertedIndex.build(shard.corpus, load_balance=self.config.load_balance)
+            self.session.host.charge_ops(index.build_ops, stage="index_build")
+            shard._keywords = index.keyword_array
+            shard._posting_counts = postings_per_keyword(index)
+            built.append((shard, index))
+        self.evict()
+        self.plan = plan
+        self._parts = [
+            _IndexPart(
+                self, shard.position,
+                self._part_engine(shard.position, devices[shard.position]),
+                shard.corpus, index, offset=0, global_ids=shard.global_ids,
+            )
+            for shard, index in built
+        ]
+        for part in self._parts:
+            self.session._ensure_resident(part)
+
     # ------------------------------------------------------------------
     # planning
 

@@ -169,10 +169,16 @@ class PlanCache:
         self._buckets.clear()
 
     def stats(self) -> dict:
-        """Counters snapshot (deterministic key order)."""
+        """Counters snapshot (deterministic key order).
+
+        ``plan_cache_size`` duplicates ``entries`` under the gauge name
+        the serve layer's ``ServeMetrics.snapshot()`` exports, so
+        dashboards can join the two surfaces on one key.
+        """
         return {
             "capacity": self.capacity,
             "entries": len(self._plans),
+            "plan_cache_size": len(self._plans),
             "buckets": len(self._buckets),
             "hits": self.hits,
             "misses": self.misses,

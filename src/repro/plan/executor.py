@@ -50,6 +50,11 @@ def execute_plan(
         ``(results, shard_profiles)``: one result per active query, and
         per-shard profile slices (``None`` for serial plans).
     """
+    stream = getattr(handle, "_stream", None)
+    if stream is not None and stream.dirty:
+        # Live mutations: compose the base scan with the delta-segment
+        # scans, filtering tombstones before the top-k (repro.stream).
+        return _run_stream(compiled, handle, queries, batch_size, profile)
     if compiled.shards is None:
         return _run_serial(handle, queries, compiled.retrieval_k, batch_size, profile), None
     return _run_shards(compiled, handle, queries, batch_size, profile)
@@ -130,6 +135,7 @@ def _empty_result() -> TopKResult:
 
 def _scan_round(
     handle,
+    parts: list,
     routes: list[np.ndarray],
     queries: list[Query],
     k: int,
@@ -137,16 +143,18 @@ def _scan_round(
     per_shard: list[list[TopKResult]],
     shard_profiles: list[StageTimings],
 ) -> None:
-    """Scan each shard's routed query subset at width ``k``.
+    """Scan each part's routed query subset at width ``k``.
 
-    Results land query-aligned in ``per_shard`` (positions a shard was
-    not routed keep their previous contents — empty for round one, the
-    round-one candidates for a TPUT top-up round); each shard's stage
-    profile (including any swap-in it forced) accumulates into
+    ``parts`` is usually ``handle._parts`` (one per shard) but the
+    streamed path also feeds delta-segment parts through here. Results
+    land query-aligned in ``per_shard`` (positions a part was not routed
+    keep their previous contents — empty for round one, the round-one
+    candidates for a TPUT top-up round); each part's stage profile
+    (including any swap-in it forced) accumulates into
     ``shard_profiles``.
     """
     session = handle.session
-    for shard, part in enumerate(handle._parts):
+    for shard, part in enumerate(parts):
         route = routes[shard]
         if route.size == 0:
             continue
@@ -248,13 +256,13 @@ def _run_shards(
 
     if compiled.merge == "two-round-tput":
         first_k = compiled.first_round_k
-        _scan_round(handle, compiled.routes, queries, first_k, batch_size,
+        _scan_round(handle, parts, compiled.routes, queries, first_k, batch_size,
                     per_shard, round1_profiles)
         topup_routes, threshold_seconds = _tput_topup_routes(
             per_shard, n_queries, compiled.retrieval_k, first_k, session.host,
         )
         round2_profiles = [StageTimings() for _ in parts]
-        _scan_round(handle, topup_routes, queries, compiled.retrieval_k,
+        _scan_round(handle, parts, topup_routes, queries, compiled.retrieval_k,
                     batch_size, per_shard, round2_profiles)
         profile.merge(critical_path_profile(round1_profiles))
         profile.add("result_merge", threshold_seconds)
@@ -264,7 +272,7 @@ def _run_shards(
             shard_profiles[shard].merge(round1_profiles[shard])
             shard_profiles[shard].merge(round2_profiles[shard])
     else:
-        _scan_round(handle, compiled.routes, queries, compiled.retrieval_k,
+        _scan_round(handle, parts, compiled.routes, queries, compiled.retrieval_k,
                     batch_size, per_shard, round1_profiles)
         profile.merge(critical_path_profile(round1_profiles))
         shard_profiles = round1_profiles
@@ -273,5 +281,120 @@ def _run_shards(
         per_shard, [part.global_ids for part in parts], n_queries,
         compiled.retrieval_k, session.host, n_objects=shards.n_objects,
     )
+    profile.add("result_merge", merge_seconds)
+    return merged, shard_profiles
+
+
+# ----------------------------------------------------------------------
+# streamed (mutated index: base scan + delta-segment scans + tombstones)
+
+
+def _run_stream(
+    compiled: CompiledPlan,
+    handle,
+    queries: list[Query],
+    batch_size: int | None,
+    profile: StageTimings,
+) -> tuple[list[TopKResult], list[StageTimings] | None]:
+    """Execute a plan over a mutated index (see :mod:`repro.stream`).
+
+    The base part(s) scan at a width of ``retrieval_k + tombstones`` —
+    filtering can strike at most ``tombstones`` candidates from a part's
+    list, so the widened fetch provably still contains the part's live
+    top-``retrieval_k``. Base candidates are remapped to global ids and
+    tombstone-filtered (host binary searches, stage ``tombstone_filter``),
+    then every delta segment scans the whole batch on the session's
+    primary device, and one exact one-round merge over all sources
+    re-pins thresholds against the logical corpus size (``next_gid``)
+    exactly as a from-scratch refit would compute them.
+
+    Returns the base per-shard profiles for sharded handles (delta and
+    merge work lands on the batch profile only), ``None`` for serial.
+    """
+    from repro.cluster.executor import critical_path_profile, merge_shard_results
+
+    session = handle.session
+    stream = handle._stream
+    manifest = stream.manifest
+    n_queries = len(queries)
+    if compiled.routing_ops:
+        session.host.charge_ops(compiled.routing_ops, stage="plan_route")
+
+    base_parts = list(handle._parts)
+    everyone = np.arange(n_queries, dtype=np.int64)
+    if compiled.shards is not None and compiled.routes is not None:
+        base_routes = compiled.routes
+    else:
+        base_routes = [everyone for _ in base_parts]
+
+    tombstones = stream.tombstone_array()
+    base_k = compiled.retrieval_k + int(tombstones.size)
+    per_part: list[list[TopKResult]] = [
+        [_empty_result() for _ in range(n_queries)] for _ in base_parts
+    ]
+    base_profiles = [StageTimings() for _ in base_parts]
+    _scan_round(handle, base_parts, base_routes, queries, base_k, batch_size,
+                per_part, base_profiles)
+
+    # Remap base candidates to global ids and strike the tombstoned ones
+    # before any top-k decision — a dead base copy must never outrank a
+    # live object (its replacement may sit in a segment under the same id).
+    filter_ops = 0.0
+    for part, part_results in zip(base_parts, per_part):
+        for qi, result in enumerate(part_results):
+            if result.ids.size == 0:
+                continue
+            if part.global_ids is not None:
+                gids = part.global_ids[result.ids]
+            else:
+                gids = result.ids + part.offset
+            counts = result.counts
+            if tombstones.size:
+                filter_ops += gids.size * np.log2(max(tombstones.size, 2))
+                pos = np.searchsorted(tombstones, gids)
+                dead = (pos < tombstones.size) & (
+                    tombstones[np.minimum(pos, tombstones.size - 1)] == gids
+                )
+                gids = gids[~dead]
+                counts = counts[~dead]
+            part_results[qi] = TopKResult(ids=gids, counts=counts)
+    filter_seconds = 0.0
+    if filter_ops:
+        filter_seconds = session.host.charge_ops(filter_ops, stage="tombstone_filter")
+
+    # Delta segments: every query scans every segment (recent writes obey
+    # no partition bounds), sequentially on the session's primary device.
+    all_results = per_part
+    delta_profiles: list[StageTimings] = []
+    for part in stream.delta_parts():
+        segment_results: list[TopKResult] = [_empty_result() for _ in range(n_queries)]
+        segment_profile = [StageTimings()]
+        _scan_round(handle, [part], [everyone], queries, compiled.retrieval_k,
+                    batch_size, [segment_results], segment_profile)
+        for qi, result in enumerate(segment_results):
+            if result.ids.size:
+                segment_results[qi] = TopKResult(
+                    ids=part.global_ids[result.ids], counts=result.counts
+                )
+        all_results.append(segment_results)
+        delta_profiles.append(segment_profile[0])
+
+    identity = np.arange(max(manifest.next_gid, 1), dtype=ID_DTYPE)
+    merged, merge_seconds = merge_shard_results(
+        all_results, [identity] * len(all_results), n_queries,
+        compiled.retrieval_k, session.host, n_objects=manifest.next_gid,
+    )
+
+    if compiled.shards is not None:
+        profile.merge(critical_path_profile(base_profiles))
+        shard_profiles: list[StageTimings] | None = base_profiles
+    else:
+        for base_profile in base_profiles:
+            profile.merge(base_profile)
+        shard_profiles = None
+    for delta_profile in delta_profiles:
+        profile.merge(delta_profile)
+    if filter_seconds:
+        profile.add("tombstone_filter", filter_seconds)
     profile.add("result_merge", merge_seconds)
     return merged, shard_profiles

@@ -188,6 +188,44 @@ class ShardScanNode(PlanNode):
 
 
 @dataclass(frozen=True)
+class DeltaScanNode(PlanNode):
+    """Scan of a mutated index's delta segments (see :mod:`repro.stream`).
+
+    Emitted next to the base ``Scan``/``ShardScan`` whenever the handle
+    carries live mutations; the parent merge composes base and delta
+    candidates exactly, with the base candidates filtered against the
+    tombstone set first. Delta segments live on the session's primary
+    device and always scan the whole active batch — segment contents are
+    arbitrary recent writes, so no keyword-bound routing applies.
+
+    Attributes:
+        index: Index name.
+        segments: Live delta segments scanned (one small index each).
+        n_objects: Live objects across the segments.
+        postings: Total delta (object, keyword) pairs — the extra scan
+            work every query pays until the next compaction.
+        tombstones: Dead base ids filtered out of the base candidates.
+        n_queries: Queries scanned (after elision).
+        k: Per-segment retrieval width.
+    """
+
+    index: str
+    segments: int
+    n_objects: int
+    postings: int
+    tombstones: int
+    n_queries: int
+    k: int
+
+    def label(self) -> str:
+        return (
+            f"DeltaScan(index={self.index!r}, segments={self.segments}, "
+            f"objects={self.n_objects}, postings={self.postings}, "
+            f"tombstones={self.tombstones}, queries={self.n_queries}, k={self.k})"
+        )
+
+
+@dataclass(frozen=True)
 class MergeNode(PlanNode):
     """Host-side candidate merge across parts or shards.
 

@@ -55,6 +55,7 @@ the rules above, byte-for-byte.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
@@ -63,11 +64,13 @@ from repro.core.types import Query
 from repro.errors import QueryError
 from repro.plan.cost import (
     CostModel,
+    postings_for_keywords,
     serial_share,
     shard_block_matrix,
     shard_postings_matrix,
 )
 from repro.plan.nodes import (
+    DeltaScanNode,
     EncodeNode,
     FinalizeNode,
     MergeNode,
@@ -294,6 +297,124 @@ def _session_cost_model(handle) -> CostModel | None:
     return CostModel(coefficients)
 
 
+def _dirty_stream(handle):
+    """The handle's live stream state, or ``None`` for a clean index."""
+    stream = getattr(handle, "_stream", None)
+    if stream is not None and stream.dirty:
+        return stream
+    return None
+
+
+def _delta_scan_seconds(
+    cost_model: CostModel,
+    stream,
+    n_queries: int,
+    total_keywords: float,
+    flat_keywords: np.ndarray,
+    retrieval_k: int,
+    count_bound: int,
+) -> float:
+    """Predicted seconds the delta-segment scans add to a plan.
+
+    The delta parts run sequentially on the session's primary device
+    after the base round, so their predicted seconds *add* to every
+    candidate's critical path identically — pricing them cannot flip the
+    route x merge choice, but it keeps ``predicted_cost`` and the
+    ``DeltaScan`` node's ``cost≈`` annotation honest against the
+    observed profile.
+    """
+    seconds = 0.0
+    for keywords, counts in stream.delta_features():
+        postings = postings_for_keywords(flat_keywords, keywords, counts)
+        seconds += cost_model.scan_seconds(
+            n_queries, total_keywords, postings, retrieval_k,
+            count_bound=count_bound,
+        )
+    return seconds
+
+
+def _delta_node(
+    handle, stream, n_queries: int, retrieval_k: int, cost: float | None
+) -> DeltaScanNode:
+    manifest = stream.manifest
+    return DeltaScanNode(
+        index=handle.name,
+        segments=len(manifest.segments),
+        n_objects=manifest.delta_objects,
+        postings=manifest.delta_postings,
+        tombstones=len(manifest.tombstones),
+        n_queries=n_queries,
+        k=retrieval_k,
+        cost=cost,
+    )
+
+
+def reprice_plan(handle, compiled: CompiledPlan, queries: list[Query]) -> CompiledPlan:
+    """Re-extract cost features for ``queries`` against a cached plan.
+
+    A :class:`~repro.plan.cache.PlanCache` hit reuses the plan *choice*
+    — routes, merge strategy, node tree — but the first batch's
+    ``predicted_cost`` does not describe the new batch: two batches with
+    identical shard eligibility can touch very different postings
+    volumes. This recomputes the chosen candidate's price from the new
+    batch's features so warm-lane cost audits stay honest, without
+    re-running the pricing *decision* (the lattice enumeration stays
+    skipped, and nothing is charged to ``plan_route`` — like query
+    encoding, feature extraction is pre-dispatch admission work).
+
+    The plan tree's per-node ``cost≈`` annotations keep the first
+    compile's values (the tree is frozen and shared); only the
+    result-level ``predicted_cost`` is refreshed.
+
+    Returns ``compiled`` unchanged for plans that were never priced.
+    """
+    shards = compiled.shards
+    if (
+        compiled.predicted_cost is None
+        or shards is None
+        or shards.shard_postings is None
+        or compiled.routes is None
+        or not compiled.active
+    ):
+        return compiled
+    cost_model = _session_cost_model(handle)
+    if cost_model is None:
+        return compiled
+    active_queries = [queries[i] for i in compiled.active]
+    total_keywords = float(sum(q.num_keywords for q in active_queries))
+    batch_postings = shard_postings_matrix(
+        active_queries, shards.shard_keywords, shards.shard_postings
+    ).sum(axis=0)
+    batch_blocks = shard_block_matrix(
+        active_queries, shards.shard_keywords, shards.shard_postings
+    ).sum(axis=0)
+    batch_hot = serial_share(
+        batch_postings, batch_blocks, handle.session.device.spec.num_sms
+    )
+    batch_bound = max(q.count_bound() for q in active_queries)
+    scanned = [s for s in range(shards.n_shards) if compiled.routes[s].size]
+    price = cost_model.price(
+        n_queries=len(active_queries),
+        keywords=total_keywords,
+        shard_postings=[float(batch_postings[s]) for s in scanned],
+        n_shards=shards.n_shards,
+        retrieval_k=compiled.retrieval_k,
+        merge=compiled.merge,
+        first_round_k=compiled.first_round_k,
+        shard_hot=[float(batch_hot[s]) for s in scanned],
+        count_bound=batch_bound,
+    )
+    predicted = price.critical_path
+    stream = _dirty_stream(handle)
+    if stream is not None:
+        flat = np.concatenate([q.all_keywords() for q in active_queries])
+        predicted += _delta_scan_seconds(
+            cost_model, stream, len(active_queries), total_keywords,
+            flat, compiled.retrieval_k, batch_bound,
+        )
+    return dataclasses.replace(compiled, predicted_cost=predicted)
+
+
 def compile_search(
     handle,
     queries: list[Query],
@@ -314,6 +435,7 @@ def compile_search(
     shards: ShardContext | None = handle._plan_shards()
     route, plan = validate_plan_args(route, plan, sharded=shards is not None)
     model_name = getattr(handle.model, "name", type(handle.model).__name__)
+    stream = _dirty_stream(handle)
 
     # Rule 1: skip elision.
     if getattr(handle.model, "skip_empty", False):
@@ -334,16 +456,26 @@ def compile_search(
             k=retrieval_k,
             inputs=(encode,),
         )
-        merge = "direct" if handle.num_parts <= 1 else "one-round"
-        root: PlanNode = scan
-        if merge != "direct":
-            root = MergeNode(strategy=merge, k=retrieval_k, inputs=(scan,))
+        if stream is not None:
+            # A mutated serial index always merges: base part(s) plus the
+            # delta segments, tombstones filtered before the top-k.
+            merge = "one-round"
+            root: PlanNode = MergeNode(
+                strategy=merge, k=retrieval_k,
+                inputs=(scan, _delta_node(handle, stream, len(active), retrieval_k, None)),
+            )
+        else:
+            merge = "direct" if handle.num_parts <= 1 else "one-round"
+            root = scan
+            if merge != "direct":
+                root = MergeNode(strategy=merge, k=retrieval_k, inputs=(scan,))
         routes = None
         routing = None
         first_k = None
         routing_ops = 0.0
         chosen_price = None
         query_buckets = None
+        delta_seconds = None
     else:
         # Rule 2: shard pruning (range partitions by default), applied at
         # batch granularity: a shard eligible for any query scans the
@@ -396,7 +528,15 @@ def compile_search(
             host = handle.session.host
             seconds_per_op = 1.0 / (host.spec.ops_per_second * host.cores)
             route_opts = ("pruned", "broadcast") if route == "auto" else (route,)
-            plan_opts = ("one-round", "two-round") if plan == "auto" else (plan,)
+            if stream is not None:
+                # Delta composition merges every source one-round; the
+                # TPUT top-up protocol's per-shard thresholds do not
+                # extend to delta segments, so the lattice collapses.
+                plan_opts = ("one-round",)
+            elif plan == "auto":
+                plan_opts = ("one-round", "two-round")
+            else:
+                plan_opts = (plan,)
             candidates = []
             for route_choice in route_opts:
                 if route_choice == "pruned":
@@ -450,10 +590,11 @@ def compile_search(
             else:
                 eligible = [everyone for _ in range(shards.n_shards)]
                 routes = list(eligible)
-            # Rule 3: two-round TPUT merge (opt-in; exact by construction).
+            # Rule 3: two-round TPUT merge (opt-in; exact by construction;
+            # unavailable while delta segments are live — see above).
             first_k = None
             merge = "one-round"
-            if plan == "two-round":
+            if plan == "two-round" and stream is None:
                 merge, first_k = _merge_strategy(plan, retrieval_k, shards.n_shards)
         scanned_pairs = int(sum(r.size for r in routes))
         total_pairs = shards.n_shards * len(active)
@@ -474,17 +615,35 @@ def compile_search(
             inputs=(encode,),
             cost=chosen_price.scan_seconds if chosen_price is not None else None,
         )
+        delta_seconds = None
+        if stream is not None and costed:
+            flat = np.concatenate([q.all_keywords() for q in active_queries])
+            delta_seconds = _delta_scan_seconds(
+                cost_model, stream, len(active), total_keywords,
+                flat, retrieval_k, batch_bound,
+            )
+        merge_inputs: tuple[PlanNode, ...] = (scan,)
+        if stream is not None:
+            merge_inputs = (
+                scan,
+                _delta_node(handle, stream, len(active), retrieval_k, delta_seconds),
+            )
         root = MergeNode(
             strategy=merge,
             k=retrieval_k,
             first_round_k=first_k,
-            inputs=(scan,),
+            inputs=merge_inputs,
             cost=chosen_price.merge_seconds if chosen_price is not None else None,
         )
 
     if getattr(handle.model, "finalize", None) is not None:
         root = FinalizeNode(model=model_name, k=k, inputs=(root,))
 
+    predicted = chosen_price.critical_path if chosen_price is not None else None
+    if predicted is not None and delta_seconds is not None:
+        # Delta parts run sequentially after the base round, so their
+        # predicted seconds add straight onto the critical path.
+        predicted += delta_seconds
     return CompiledPlan(
         root=root,
         index=handle.name,
@@ -498,6 +657,6 @@ def compile_search(
         first_round_k=first_k,
         routing=routing,
         routing_ops=routing_ops,
-        predicted_cost=chosen_price.critical_path if chosen_price is not None else None,
+        predicted_cost=predicted,
         query_buckets=query_buckets,
     )

@@ -64,6 +64,10 @@ class ServeMetrics:
         plan_cache: The session's :class:`~repro.plan.cache.PlanCache`
             when the server wired one in (its hit/miss/invalidation
             counters join :meth:`snapshot`); ``None`` reports zeros.
+        delta_postings / compactions: Per mutable index (see
+            :mod:`repro.stream`), the latest observed delta-posting gauge
+            and lifetime compaction count — how much un-compacted write
+            pressure each streamed index carries.
     """
 
     def __init__(self):
@@ -88,6 +92,8 @@ class ServeMetrics:
         self._latencies: list[float] = []
         self._queue_times: list[float] = []
         self.plan_cache = None
+        self.delta_postings: dict[str, int] = {}
+        self.compactions: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # recording
@@ -145,6 +151,15 @@ class ServeMetrics:
             self._pruned_pairs += int(routing.pruned_pairs)
             if not routing.broadcast:
                 self.routed_batches += 1
+
+    def record_stream(self, index: str, delta_postings: int, compactions: int) -> None:
+        """Note a mutable index's stream gauges after a dispatched batch.
+
+        ``delta_postings`` is a gauge (latest wins — compaction drives it
+        back to zero); ``compactions`` is the manifest's lifetime counter.
+        """
+        self.delta_postings[index] = int(delta_postings)
+        self.compactions[index] = int(compactions)
 
     # ------------------------------------------------------------------
     # derived views
@@ -240,6 +255,9 @@ class ServeMetrics:
             "plan_cache_invalidations": (
                 self.plan_cache.invalidations if self.plan_cache is not None else 0
             ),
+            "plan_cache_size": len(self.plan_cache) if self.plan_cache is not None else 0,
+            "delta_postings": sum(self.delta_postings.values()),
+            "compactions": sum(self.compactions.values()),
         }
         for p in REPORTED_PERCENTILES:
             snap[f"latency_p{p:g}"] = self.latency(p)

@@ -556,6 +556,11 @@ class GenieServer:
             else None,
             routing=result.routing,
         )
+        manifest = getattr(handle, "manifest", None)
+        if manifest is not None:
+            self.metrics.record_stream(
+                handle.name, manifest.delta_postings, manifest.compactions
+            )
         payload_list = result.payload if isinstance(result.payload, list) else None
         for i, request in enumerate(requests):
             payload_i = payload_list[i] if payload_list is not None else None

@@ -1,0 +1,130 @@
+"""Mutable delta segments: the LSM-style write path for GENIE indexes.
+
+GENIE's inverted index is fit-once — the CSR List Array is immutable by
+construction (Section III). Production corpora are not. This module adds
+the smallest structure that absorbs online mutations without refitting:
+
+* a :class:`DeltaSegment` — an append-friendly per-object posting store.
+  Inserts land in the *active* (unsealed) segment; once it holds
+  ``seal_objects`` objects it seals and a fresh segment opens, exactly
+  like an LSM memtable rotating into an immutable run. Deletes and
+  updates of a segment-resident object edit the segment *in place*
+  (sealing only gates where new inserts go — a sealed segment is small
+  enough that rewriting its scan-time index stays cheap).
+* a :class:`StreamConfig` — the seal and compaction thresholds.
+
+The base index's own objects cannot be edited in place; deleting one
+adds its global id to the manifest's *tombstone* set instead (see
+:mod:`repro.stream.manifest`), and updating one tombstones the base copy
+and inserts the live replacement — under the **same** global id — into
+the active segment. Query-time composition (base scan + delta scans +
+tombstone filter, merged exactly) lives in :mod:`repro.plan.executor`;
+rewriting everything back into a fresh CSR base is
+:meth:`repro.stream.state.StreamState.compact`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Tuning knobs for one handle's mutable-segment machinery.
+
+    Attributes:
+        seal_objects: Objects after which the active segment seals and a
+            fresh one opens. Smaller segments keep per-mutation index
+            rebuilds cheap; larger ones keep the query-time merge fan-in
+            low.
+        compact_ratio: Compaction triggers when the delta postings exceed
+            this fraction of the base index's postings, or the tombstones
+            this fraction of the base objects. The classic LSM trade: a
+            low ratio keeps scans near base-only speed but compacts (and
+            pays a full rebuild) often.
+        auto_compact: Run the threshold check after every mutation.
+            ``False`` leaves compaction entirely to explicit
+            :meth:`~repro.api.session.IndexHandle.compact` calls.
+    """
+
+    seal_objects: int = 512
+    compact_ratio: float = 0.25
+    auto_compact: bool = True
+
+    def __post_init__(self):
+        if int(self.seal_objects) < 1:
+            raise ConfigError("seal_objects must be >= 1")
+        if not float(self.compact_ratio) > 0.0:
+            raise ConfigError("compact_ratio must be positive")
+
+
+class DeltaSegment:
+    """One mutable run of objects: global id -> keyword array.
+
+    The segment is the unit of scan-time indexing (one small inverted
+    index per segment) and of feature extraction (one keyword/postings
+    table for the cost model), so both caches key on :attr:`version` —
+    every in-place edit bumps it.
+
+    Attributes:
+        sealed: Whether new inserts may still land here. Sealing is
+            advisory for inserts only; removes/replaces stay legal.
+        version: Monotonic edit counter for downstream caches.
+    """
+
+    __slots__ = ("_objects", "_postings", "sealed", "version")
+
+    def __init__(self):
+        self._objects: dict[int, np.ndarray] = {}
+        self._postings = 0
+        self.sealed = False
+        self.version = 0
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __contains__(self, gid: int) -> bool:
+        return int(gid) in self._objects
+
+    @property
+    def postings(self) -> int:
+        """Total (object, keyword) pairs held — the segment's index size."""
+        return self._postings
+
+    def ids(self) -> list[int]:
+        """Live global ids, ascending (the segment's gather map order)."""
+        return sorted(self._objects)
+
+    def keywords(self, gid: int) -> np.ndarray:
+        """The stored keyword array of ``gid`` (must be present)."""
+        return self._objects[int(gid)]
+
+    def add(self, gid: int, keywords: np.ndarray) -> None:
+        """Insert a new object; the id must not already live here."""
+        gid = int(gid)
+        if gid in self._objects:
+            raise ConfigError(f"segment already holds object {gid}")
+        self._objects[gid] = keywords
+        self._postings += int(keywords.size)
+        self.version += 1
+
+    def remove(self, gid: int) -> bool:
+        """Drop ``gid`` if present; returns whether it was here."""
+        keywords = self._objects.pop(int(gid), None)
+        if keywords is None:
+            return False
+        self._postings -= int(keywords.size)
+        self.version += 1
+        return True
+
+    def replace(self, gid: int, keywords: np.ndarray) -> None:
+        """Swap the keywords of a resident object in place."""
+        gid = int(gid)
+        old = self._objects[gid]
+        self._objects[gid] = keywords
+        self._postings += int(keywords.size) - int(old.size)
+        self.version += 1

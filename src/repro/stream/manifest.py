@@ -1,0 +1,104 @@
+"""The segment manifest: one handle's mutable-index version vector.
+
+A :class:`SegmentManifest` describes everything a search over a mutated
+index must compose: the (immutable) CSR base, the live delta segments,
+and the tombstoned base ids — plus the epochs that version them.
+``mutation_epoch`` is deliberately separate from the handle's
+``fit_epoch``: a refit replaces the *model* state (encoders, vocabulary)
+and must flush every downstream cache, while a mutation only changes
+*which objects* answer — the serve layer drops that index's stale
+results and plans, nothing else. ``base_epoch`` counts compactions,
+which rewrite the base without changing any result.
+
+Placement invariant (enforced by :class:`~repro.stream.state.StreamState`):
+every live global id lives in exactly one scan source — the base (when
+not tombstoned) or one delta segment. The only id that appears twice is
+an *updated base object*: its base copy is tombstoned (dead) and its
+live replacement sits in a segment under the same id, which is why the
+executor filters tombstones against base scan results only.
+"""
+
+from __future__ import annotations
+
+from repro.stream.delta import DeltaSegment
+
+
+class SegmentManifest:
+    """Versioned (base, deltas, tombstones) state of one mutable index.
+
+    Attributes:
+        base_objects: Object slots covered by the current CSR base
+            (global ids ``0 .. base_objects - 1``). Grows to
+            ``next_gid`` at each compaction; deleted slots stay in the
+            id space forever as empty objects, keeping every assigned id
+            stable.
+        next_gid: The next global id an insert will take; also the
+            logical corpus size (``ids < next_gid``).
+        segments: Live delta segments, oldest first; the last unsealed
+            one (if any) is the active insert target.
+        tombstones: Base global ids whose base copy is dead.
+        mutation_epoch: Bumped by every insert/delete/update — the
+            serve-layer invalidation version.
+        base_epoch: Bumped by every compaction (the plan cache keys on
+            it: a compaction changes the shard keyword tables).
+        compactions: Lifetime compaction count (a counter, not a
+            version: surfaces in ``ServeMetrics.snapshot()``).
+    """
+
+    def __init__(self, base_objects: int):
+        self.base_objects = int(base_objects)
+        self.next_gid = int(base_objects)
+        self.segments: list[DeltaSegment] = []
+        self.tombstones: set[int] = set()
+        self.mutation_epoch = 0
+        self.base_epoch = 0
+        self.compactions = 0
+
+    @property
+    def delta_objects(self) -> int:
+        """Live objects held in delta segments."""
+        return sum(len(segment) for segment in self.segments)
+
+    @property
+    def delta_postings(self) -> int:
+        """Total (object, keyword) pairs across the delta segments.
+
+        The compaction trigger's pressure gauge, and a serve-layer
+        counter: this is how much extra scan work every query pays until
+        the next compaction folds it into the base.
+        """
+        return sum(segment.postings for segment in self.segments)
+
+    @property
+    def dirty(self) -> bool:
+        """Whether a search must compose base + deltas + tombstones.
+
+        True whenever the base alone cannot answer: live delta objects,
+        tombstoned base ids, or dead id slots past the base (an inserted
+        object that was deleted again still occupies its slot — a
+        from-scratch refit of the final corpus would index the empty
+        slot, so thresholds must be computed over ``next_gid`` objects).
+        """
+        return (
+            bool(self.segments)
+            or bool(self.tombstones)
+            or self.next_gid != self.base_objects
+        )
+
+    def describe(self) -> dict:
+        """Deterministic summary dict (tests and ``snapshot()`` surfaces)."""
+        return {
+            "base_objects": self.base_objects,
+            "next_gid": self.next_gid,
+            "segments": len(self.segments),
+            "delta_objects": self.delta_objects,
+            "delta_postings": self.delta_postings,
+            "tombstones": len(self.tombstones),
+            "mutation_epoch": self.mutation_epoch,
+            "base_epoch": self.base_epoch,
+            "compactions": self.compactions,
+        }
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.describe().items())
+        return f"SegmentManifest({inner})"

@@ -1,0 +1,328 @@
+"""Per-handle stream state: mutations in, scan-ready delta parts out.
+
+:class:`StreamState` is what an :class:`~repro.api.session.IndexHandle`
+lazily attaches on its first mutation. It owns the
+:class:`~repro.stream.manifest.SegmentManifest`, applies
+``insert``/``delete``/``update`` under the placement invariant (every
+live id in exactly one scan source), materializes each delta segment as
+a device-swappable ``_IndexPart`` (small inverted index + engine, cached
+per segment version so untouched sealed segments never rebuild), and
+runs threshold-driven compaction back into a fresh CSR base.
+
+Cost accounting mirrors the batch path: building a segment's scan index
+charges the host's ``index_build`` stage, delta parts attach through the
+session's residency machinery (they pay ``index_transfer`` and count
+against the memory budget like any base part), and the executor charges
+the tombstone filter as host binary-search work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.inverted_index import InvertedIndex
+from repro.core.types import ID_DTYPE, Corpus
+from repro.errors import QueryError
+from repro.stream.delta import DeltaSegment, StreamConfig
+from repro.stream.manifest import SegmentManifest
+
+
+class StreamState:
+    """Mutable-segment machinery for one fitted index handle.
+
+    Args:
+        handle: The owning (already fitted) session index handle.
+        config: Seal/compaction thresholds; defaults when omitted.
+    """
+
+    def __init__(self, handle, config: StreamConfig | None = None):
+        self.handle = handle
+        self.config = config if config is not None else StreamConfig()
+        base_objects = sum(len(part.corpus) for part in handle._parts)
+        self.manifest = SegmentManifest(base_objects)
+        # id(segment) -> (version, _IndexPart): sealed segments keep their
+        # scan index across mutations elsewhere; only edited segments
+        # rebuild (and re-pay index_build) on the next search.
+        self._part_cache: dict[int, tuple[int, object]] = {}
+        # id(segment) -> (version, keyword_array, posting_counts): the
+        # cost model's per-segment features, no index build needed.
+        self._feature_cache: dict[int, tuple[int, np.ndarray, np.ndarray]] = {}
+        self._tombstone_array: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    @property
+    def dirty(self) -> bool:
+        """Whether searches must run the base+delta composition."""
+        return self.manifest.dirty
+
+    # ------------------------------------------------------------------
+    # mutations
+
+    def _encode(self, objects) -> Corpus:
+        corpus = self.handle.model.encode_increment(objects)
+        if not isinstance(corpus, Corpus):
+            corpus = Corpus(corpus)
+        return corpus
+
+    def _active_segment(self) -> DeltaSegment:
+        segments = self.manifest.segments
+        if not segments or segments[-1].sealed:
+            segments.append(DeltaSegment())
+        return segments[-1]
+
+    def insert(self, objects) -> np.ndarray:
+        """Append new objects; returns their assigned global ids."""
+        objects = list(objects)
+        if not objects:
+            raise QueryError("empty insert batch")
+        corpus = self._encode(objects)
+        manifest = self.manifest
+        gids = np.arange(
+            manifest.next_gid, manifest.next_gid + len(corpus), dtype=ID_DTYPE
+        )
+        for gid, keywords in zip(gids, corpus.keyword_arrays):
+            segment = self._active_segment()
+            segment.add(int(gid), keywords)
+            if len(segment) >= self.config.seal_objects:
+                segment.sealed = True
+        manifest.next_gid += len(corpus)
+        self._mutated()
+        return gids
+
+    def delete(self, ids) -> None:
+        """Remove live objects by global id (all-or-nothing validation)."""
+        ids = [int(i) for i in np.atleast_1d(np.asarray(ids, dtype=ID_DTYPE))]
+        if not ids:
+            raise QueryError("empty delete batch")
+        for gid in ids:
+            if not self._is_live(gid):
+                raise QueryError(f"cannot delete id {gid}: not a live object")
+        if len(set(ids)) != len(ids):
+            raise QueryError("duplicate ids in delete batch")
+        manifest = self.manifest
+        for gid in ids:
+            for segment in manifest.segments:
+                if segment.remove(gid):
+                    break
+            else:
+                manifest.tombstones.add(gid)
+        self._mutated()
+
+    def update(self, gid: int, obj) -> None:
+        """Replace one live object's keywords, keeping its global id."""
+        gid = int(gid)
+        if not self._is_live(gid):
+            raise QueryError(f"cannot update id {gid}: not a live object")
+        keywords = self._encode([obj]).keyword_arrays[0]
+        manifest = self.manifest
+        for segment in manifest.segments:
+            if gid in segment:
+                segment.replace(gid, keywords)
+                break
+        else:
+            # A base object cannot change in place: tombstone the base
+            # copy and insert the replacement — same id — as a delta.
+            manifest.tombstones.add(gid)
+            segment = self._active_segment()
+            segment.add(gid, keywords)
+            if len(segment) >= self.config.seal_objects:
+                segment.sealed = True
+        self._mutated()
+
+    def _is_live(self, gid: int) -> bool:
+        manifest = self.manifest
+        if any(gid in segment for segment in manifest.segments):
+            return True
+        return 0 <= gid < manifest.base_objects and gid not in manifest.tombstones
+
+    def _mutated(self) -> None:
+        manifest = self.manifest
+        manifest.mutation_epoch += 1
+        manifest.segments = [s for s in manifest.segments if len(s)]
+        self._tombstone_array = None
+        # A mutation stales this index's cached results *and* plans (the
+        # plan must grow/update its DeltaScan); other indexes' caches are
+        # untouched — that is the whole point of per-index hooks.
+        self.handle.session._notify_invalidated(self.handle.name)
+        if self.config.auto_compact:
+            self.maybe_compact()
+
+    # ------------------------------------------------------------------
+    # scan-time materialization
+
+    def tombstone_array(self) -> np.ndarray:
+        """Sorted tombstoned base ids (the executor's filter probe table)."""
+        if self._tombstone_array is None:
+            self._tombstone_array = np.asarray(
+                sorted(self.manifest.tombstones), dtype=ID_DTYPE
+            )
+        return self._tombstone_array
+
+    def delta_parts(self) -> list:
+        """One ``_IndexPart`` per live segment, cache-fresh.
+
+        Segments edited since their last build are re-indexed here (the
+        host pays ``index_build`` for exactly the rebuilt segments);
+        stale cached parts are evicted before being dropped so the
+        session's residency accounting never leaks device bytes.
+        """
+        from repro.api.session import _IndexPart
+        from repro.core.engine import GenieEngine
+
+        handle = self.handle
+        session = handle.session
+        parts = []
+        live = set()
+        base_positions = len(handle._parts)
+        for i, segment in enumerate(self.manifest.segments):
+            live.add(id(segment))
+            cached = self._part_cache.get(id(segment))
+            if cached is not None and cached[0] == segment.version:
+                parts.append(cached[1])
+                continue
+            if cached is not None:
+                self._evict(cached[1])
+            gids = np.asarray(segment.ids(), dtype=ID_DTYPE)
+            corpus = Corpus([segment.keywords(int(g)) for g in gids])
+            index = InvertedIndex.build(corpus, load_balance=handle.config.load_balance)
+            session.host.charge_ops(index.build_ops, stage="index_build")
+            engine = GenieEngine(
+                device=session.device, host=session.host, config=handle.config
+            )
+            part = _IndexPart(
+                handle, base_positions + i, engine, corpus, index,
+                offset=0, global_ids=gids,
+            )
+            self._part_cache[id(segment)] = (segment.version, part)
+            parts.append(part)
+        self._prune(self._part_cache, live, evict=True)
+        return parts
+
+    def delta_features(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Per live segment, ``(sorted keywords, posting counts)``.
+
+        The planner prices the DeltaScan from these without building any
+        index — ``explain()`` stays free of ``index_build`` charges.
+        """
+        features = []
+        live = set()
+        for segment in self.manifest.segments:
+            live.add(id(segment))
+            cached = self._feature_cache.get(id(segment))
+            if cached is None or cached[0] != segment.version:
+                arrays = [segment.keywords(gid) for gid in segment.ids()]
+                flat = (
+                    np.concatenate(arrays)
+                    if arrays
+                    else np.empty(0, dtype=ID_DTYPE)
+                )
+                keywords, counts = np.unique(flat, return_counts=True)
+                cached = (segment.version, keywords, counts.astype(np.float64))
+                self._feature_cache[id(segment)] = cached
+            features.append((cached[1], cached[2]))
+        self._prune(self._feature_cache, live, evict=False)
+        return features
+
+    def attached_parts(self) -> list:
+        """Every cached delta part (for eviction / byte accounting)."""
+        return [part for _, part in self._part_cache.values()]
+
+    def _evict(self, part) -> None:
+        if part.resident:
+            self.handle.session._evict_part(part)
+
+    def _prune(self, cache: dict, live: set, evict: bool) -> None:
+        for key in [k for k in cache if k not in live]:
+            if evict:
+                self._evict(cache[key][1])
+            del cache[key]
+
+    def release(self) -> None:
+        """Evict and forget every cached delta part and feature table."""
+        for part in self.attached_parts():
+            self._evict(part)
+        self._part_cache.clear()
+        self._feature_cache.clear()
+
+    # ------------------------------------------------------------------
+    # compaction
+
+    def full_corpus(self) -> Corpus:
+        """The logical corpus a from-scratch refit would index now.
+
+        One slot per assigned global id (``0 .. next_gid - 1``); dead
+        slots — tombstoned base ids without a live delta replacement,
+        and deleted delta inserts — hold empty keyword sets. Empty
+        objects never match (zero counts never enter a top-k), so
+        indexing them changes no result while keeping every surviving id
+        stable across compactions.
+        """
+        manifest = self.manifest
+        slots: list = [None] * manifest.next_gid
+        for part in self.handle._parts:
+            arrays = part.corpus.keyword_arrays
+            if part.global_ids is not None:
+                for local, gid in enumerate(part.global_ids):
+                    slots[int(gid)] = arrays[local]
+            else:
+                for local, keywords in enumerate(arrays):
+                    slots[part.offset + local] = keywords
+        empty = np.empty(0, dtype=ID_DTYPE)
+        for gid in manifest.tombstones:
+            slots[gid] = empty
+        for segment in manifest.segments:
+            for gid in segment.ids():
+                slots[gid] = segment.keywords(gid)
+        for gid in range(manifest.base_objects, manifest.next_gid):
+            if slots[gid] is None:
+                slots[gid] = empty  # deleted delta insert: dead slot
+        return Corpus(slots)
+
+    def maybe_compact(self) -> bool:
+        """Compact when delta pressure crosses the configured ratio."""
+        manifest = self.manifest
+        if not manifest.segments and not manifest.tombstones:
+            return False
+        base_entries = sum(
+            int(part.corpus.total_entries) for part in self.handle._parts
+        )
+        ratio = self.config.compact_ratio
+        if (
+            manifest.delta_postings > ratio * max(1, base_entries)
+            or len(manifest.tombstones) > ratio * max(1, manifest.base_objects)
+        ):
+            return self.compact()
+        return False
+
+    def compact(self) -> bool:
+        """Rewrite base + deltas + tombstones into a fresh CSR base.
+
+        The new base is built host-side first, then swapped in under the
+        session's residency budget (old parts and delta parts evicted,
+        new parts attached — atomic from any observer's point of view:
+        no search runs mid-swap in the synchronous session). Results are
+        unchanged by construction, so cached query *results* stay valid;
+        the plan cache alone is invalidated (the shard keyword tables
+        the planner routes against did change).
+
+        Returns:
+            Whether anything was compacted (``False`` on a clean index).
+        """
+        if not self.dirty:
+            return False
+        manifest = self.manifest
+        corpus = self.full_corpus()
+        self.release()
+        self.handle._rebuild_base(corpus)
+        manifest.segments = []
+        manifest.tombstones = set()
+        manifest.base_objects = manifest.next_gid
+        manifest.base_epoch += 1
+        manifest.compactions += 1
+        self._tombstone_array = None
+        cache = self.handle.session.plan_cache
+        if cache is not None:
+            cache.invalidate(self.handle.name)
+        return True

@@ -42,9 +42,19 @@ class TestCacheConstruction:
     def test_stats_surface(self):
         cache = PlanCache(capacity=3)
         assert cache.stats() == {
-            "capacity": 3, "entries": 0, "buckets": 0,
+            "capacity": 3, "entries": 0, "plan_cache_size": 0, "buckets": 0,
             "hits": 0, "misses": 0, "evictions": 0, "invalidations": 0,
         }
+
+    def test_plan_cache_size_gauge_tracks_entries(self):
+        session = GenieSession()
+        handle = make_sharded(session)
+        assert session.plan_cache.stats()["plan_cache_size"] == 0
+        handle.search([[1, 2]], k=5)
+        handle.search([[1, 2]], k=6)
+        stats = session.plan_cache.stats()
+        assert stats["plan_cache_size"] == stats["entries"] == 2
+        session.close()
 
     def test_session_toggle(self):
         assert GenieSession().plan_cache is not None
@@ -129,6 +139,76 @@ class TestHitsAndMisses:
         first = handle.search([[1, 2]], k=5)
         second = handle.search([[1, 2]], k=5)
         assert np.array_equal(first.results[0].ids, second.results[0].ids)
+        session.close()
+
+
+class TestRepricedHits:
+    """A cache hit reuses the plan *choice*, not the first batch's price.
+
+    The cache key stores per-query ``(alive, shard-mask)`` signatures —
+    not the keywords themselves — so two batches with different work
+    volumes (e.g. ``[[0]]`` vs ``[[0, 1]]`` on the banded corpus: both
+    keywords live only in shard 0) collide on one entry. The hit must
+    re-extract the new batch's cost features so ``predicted_cost`` stays
+    honest, while still charging nothing to ``plan_route``.
+    """
+
+    # Hand-rolled coefficients: postings dominate, so batches touching
+    # different posting volumes must price differently.
+    COEFFS = {
+        "scan.const": 1e-6, "scan.queries": 1e-7, "scan.keywords": 1e-7,
+        "scan.postings": 1e-8, "scan.gated": 1e-9, "scan.hot": 1e-7,
+        "scan.width": 1e-9, "merge.const": 1e-7, "merge.ops": 1e-9,
+        "topup.const": 1e-7, "topup.concentration": 1e-7,
+    }
+
+    def _costed_session(self):
+        session = GenieSession()
+        handle = make_sharded(session)
+        session.cost_coefficients = dict(self.COEFFS)
+        return session, handle
+
+    def test_colliding_batches_share_one_entry(self):
+        session, handle = self._costed_session()
+        handle.search([[0]], k=5)
+        handle.search([[0, 1]], k=5)  # cold bucket: miss, overwrites
+        stats = session.plan_cache.stats()
+        assert stats["misses"] == 2 and stats["entries"] == 1
+        session.close()
+
+    def test_hit_reprices_for_the_new_batch(self):
+        session, handle = self._costed_session()
+        small = handle.search([[0]], k=5)
+        big = handle.search([[0, 1]], k=5)
+        assert small.predicted_cost is not None
+        assert big.predicted_cost is not None
+        assert small.predicted_cost != big.predicted_cost
+        # Both shapes now hit the single shared entry; each must report
+        # its *own* batch's predicted cost, not the stored plan's.
+        warm_small = handle.search([[0]], k=5)
+        warm_big = handle.search([[0, 1]], k=5)
+        assert session.plan_cache.stats()["hits"] == 2
+        assert warm_small.predicted_cost == pytest.approx(small.predicted_cost)
+        assert warm_big.predicted_cost == pytest.approx(big.predicted_cost)
+        session.close()
+
+    def test_repricing_charges_no_planning_host_work(self):
+        session, handle = self._costed_session()
+        handle.search([[0]], k=5)
+        handle.search([[0, 1]], k=5)
+        charged = session.host.timings.get("plan_route")
+        handle.search([[0]], k=5)  # hit + reprice
+        assert session.host.timings.get("plan_route") == charged
+        session.close()
+
+    def test_hit_results_identical_under_repricing(self):
+        session, handle = self._costed_session()
+        first = handle.search([[0, 1]], k=5)
+        handle.search([[0]], k=5)
+        second = handle.search([[0, 1]], k=5)
+        for ref, got in zip(first.results, second.results):
+            assert np.array_equal(ref.ids, got.ids)
+            assert np.array_equal(ref.counts, got.counts)
         session.close()
 
 

@@ -1,0 +1,107 @@
+"""Unit behavior of the stream primitives: segments, config, manifest."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.stream import DeltaSegment, SegmentManifest, StreamConfig
+
+
+def kw(*keywords):
+    return np.asarray(keywords, dtype=np.int64)
+
+
+class TestStreamConfig:
+    def test_defaults(self):
+        config = StreamConfig()
+        assert config.seal_objects == 512
+        assert config.compact_ratio == 0.25
+        assert config.auto_compact is True
+
+    def test_validation(self):
+        with pytest.raises(ConfigError, match="seal_objects"):
+            StreamConfig(seal_objects=0)
+        with pytest.raises(ConfigError, match="compact_ratio"):
+            StreamConfig(compact_ratio=0.0)
+        with pytest.raises(ConfigError, match="compact_ratio"):
+            StreamConfig(compact_ratio=-1.0)
+
+
+class TestDeltaSegment:
+    def test_add_and_introspect(self):
+        segment = DeltaSegment()
+        segment.add(7, kw(1, 2, 3))
+        segment.add(3, kw(4))
+        assert len(segment) == 2
+        assert segment.postings == 4
+        assert segment.ids() == [3, 7]  # ascending gather-map order
+        assert 7 in segment and 5 not in segment
+        assert np.array_equal(segment.keywords(7), kw(1, 2, 3))
+
+    def test_duplicate_add_rejected(self):
+        segment = DeltaSegment()
+        segment.add(1, kw(0))
+        with pytest.raises(ConfigError, match="already holds"):
+            segment.add(1, kw(9))
+
+    def test_remove(self):
+        segment = DeltaSegment()
+        segment.add(1, kw(5, 6))
+        assert segment.remove(1) is True
+        assert segment.remove(1) is False
+        assert len(segment) == 0 and segment.postings == 0
+
+    def test_replace_adjusts_postings(self):
+        segment = DeltaSegment()
+        segment.add(1, kw(5, 6, 7))
+        segment.replace(1, kw(8))
+        assert segment.postings == 1
+        assert np.array_equal(segment.keywords(1), kw(8))
+
+    def test_every_edit_bumps_version(self):
+        segment = DeltaSegment()
+        versions = [segment.version]
+        segment.add(1, kw(0))
+        versions.append(segment.version)
+        segment.replace(1, kw(1))
+        versions.append(segment.version)
+        segment.remove(1)
+        versions.append(segment.version)
+        assert versions == sorted(set(versions))  # strictly increasing
+
+
+class TestSegmentManifest:
+    def test_clean_at_birth(self):
+        manifest = SegmentManifest(10)
+        assert manifest.dirty is False
+        assert manifest.next_gid == manifest.base_objects == 10
+        assert manifest.delta_objects == manifest.delta_postings == 0
+
+    def test_dirty_on_segments_or_tombstones(self):
+        manifest = SegmentManifest(10)
+        segment = DeltaSegment()
+        segment.add(10, kw(1))
+        manifest.segments.append(segment)
+        assert manifest.dirty
+        manifest.segments.clear()
+        manifest.tombstones.add(3)
+        assert manifest.dirty
+
+    def test_dirty_on_dead_id_slots_past_the_base(self):
+        # An inserted-then-deleted object leaves no segment or tombstone,
+        # but its id slot still shifts the logical corpus size: a refit
+        # would index the empty slot, so searches must stay on the
+        # streamed path until compaction folds it in.
+        manifest = SegmentManifest(10)
+        manifest.next_gid = 12
+        assert manifest.dirty
+
+    def test_describe_is_deterministic(self):
+        manifest = SegmentManifest(5)
+        described = manifest.describe()
+        assert described == {
+            "base_objects": 5, "next_gid": 5, "segments": 0,
+            "delta_objects": 0, "delta_postings": 0, "tombstones": 0,
+            "mutation_epoch": 0, "base_epoch": 0, "compactions": 0,
+        }
+        assert "SegmentManifest(" in repr(manifest)
