@@ -11,6 +11,8 @@ GPU" (ICDE 2018). Subpackages:
   (range/hash partitioning, concurrent shard scans, exact merge),
 * :mod:`repro.plan` — the query planner every search lowers through
   (explainable plan IR, shard pruning, two-round TPUT merge, elision),
+* :mod:`repro.obs` — observability (deterministic request traces on the
+  virtual clock, typed metric primitives, cost-drift tracking),
 * :mod:`repro.gpu` — the simulated GPU/CPU substrate,
 * :mod:`repro.core` — match-count model, inverted index, c-PQ, engine,
 * :mod:`repro.lsh` — LSH families, re-hashing, tau-ANN search,
@@ -21,7 +23,14 @@ GPU" (ICDE 2018). Subpackages:
 * :mod:`repro.experiments` — the figure/table reproduction harness.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+import logging as _logging
+
+# Library logging convention: everything logs under the "repro" root
+# logger, silent by default. Applications opt in with e.g.
+# ``logging.getLogger("repro").setLevel(logging.DEBUG)`` plus a handler.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
 
 from repro.api import GenieSession, IndexHandle, MatchModel, SearchResult
 from repro.core import Corpus, GenieConfig, GenieEngine, MultiLoadGenie, Query, TopKResult

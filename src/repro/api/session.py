@@ -27,6 +27,7 @@ events (evictions / swap-ins) the search caused.
 
 from __future__ import annotations
 
+import logging
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable
@@ -41,6 +42,7 @@ from repro.errors import ConfigError, GpuOutOfMemoryError, QueryError
 from repro.gpu.device import Device
 from repro.gpu.host import HostCpu
 from repro.gpu.stats import StageTimings, timings_delta
+from repro.obs.trace import Span
 from repro.plan.cache import PlanCache
 from repro.plan.cost import calibrate_session
 from repro.plan.executor import execute_plan
@@ -52,6 +54,8 @@ from repro.plan.planner import (
     reprice_plan,
     validate_plan_args,
 )
+
+logger = logging.getLogger("repro.api")
 
 
 @dataclass(frozen=True)
@@ -152,6 +156,12 @@ class SearchResult:
             when the session's cost model priced this plan (``None`` for
             serial plans and uncalibrated sessions) — compare against
             the observed ``profile`` to audit the model.
+        trace: Execution span tree (:class:`~repro.obs.trace.Span`) when
+            the search was called with ``trace=True``: plan compile,
+            per-part/per-shard scans, delta scans, tombstone filter,
+            merge, finalize — on a timeline starting at 0.0 simulated
+            seconds. ``None`` otherwise (untraced searches allocate no
+            spans).
     """
 
     results: list[TopKResult]
@@ -163,6 +173,7 @@ class SearchResult:
     plan: PlanNode | None = None
     routing: RoutingSummary | None = None
     predicted_cost: float | None = None
+    trace: Span | None = None
 
     @property
     def ids(self) -> list[np.ndarray]:
@@ -266,6 +277,9 @@ class GenieSession:
         self.plan_cache = PlanCache(capacity=plan_cache_size) if plan_cache_size else None
         self._cost_coefficients: dict | None = None
         self._cost_epoch = 0
+        # Serving layers attach a repro.obs.Tracer here; background work
+        # (stream compaction) records standalone spans through it.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # cost model
@@ -582,6 +596,10 @@ class GenieSession:
         self._resident.pop(id(part), None)
         if part.engine.index_resident:
             part.engine.release()
+        logger.debug(
+            "evict index=%s part=%d bytes=%d resident_bytes=%d",
+            part.handle.name, part.position, part.device_bytes, self.resident_bytes,
+        )
         self._record_event(
             ResidencyEvent("evict", part.handle.name, part.position, part.device_bytes)
         )
@@ -834,6 +852,7 @@ class IndexHandle:
         batch_size: int | None = None,
         route: str | None = None,
         plan: str | None = None,
+        trace: bool = False,
         **search_opts,
     ) -> SearchResult:
         """Encode, compile a plan, retrieve (over all parts), merge, verify.
@@ -857,6 +876,9 @@ class IndexHandle:
                 ``"auto"``/``"one-round"`` (each shard returns its full
                 top-k) or ``"two-round"`` (the TPUT merge: fetch
                 ``ceil(2k/N)`` per shard, top up only where necessary).
+            trace: Record an execution span tree on ``result.trace``
+                (see :mod:`repro.obs.trace`); off by default — untraced
+                searches allocate no spans.
             search_opts: Model-specific options (e.g. the sequence model's
                 ``n_candidates`` shortlist width).
 
@@ -878,7 +900,7 @@ class IndexHandle:
         queries = self.encode_queries(raw_queries)
         return self.search_encoded(
             raw_queries, queries, k=k, batch_size=batch_size,
-            route=route, plan=plan, **search_opts,
+            route=route, plan=plan, trace=trace, **search_opts,
         )
 
     def explain(
@@ -904,7 +926,7 @@ class IndexHandle:
         if not self._parts:
             raise QueryError("index must be fitted before searching")
         queries = self.encode_queries(list(raw_queries))
-        _, compiled = self._compile(queries, k, route, plan, search_opts)
+        _, compiled, _ = self._compile(queries, k, route, plan, search_opts)
         return compiled.root
 
     def _compile(self, queries, k, route, plan, search_opts):
@@ -916,6 +938,10 @@ class IndexHandle:
         compiles consult the session's :class:`~repro.plan.cache.PlanCache`
         first: a hit skips planning entirely (and its ``plan_route``
         charge — the decisions were paid at first compile).
+
+        Returns:
+            ``(k, compiled, cache_hit)`` — whether the plan came from the
+            cache (trace spans and cache-audit callers read the flag).
         """
         self.session._check_open()
         if not self._parts:
@@ -931,7 +957,7 @@ class IndexHandle:
         if cache is None or shards is None:
             return k, compile_search(
                 self, queries, k=k, retrieval_k=retrieval_k, route=route, plan=plan
-            )
+            ), False
         norm_route, norm_plan = validate_plan_args(route, plan, sharded=True)
         costed = (
             bool(self.session.cost_coefficients)
@@ -953,12 +979,12 @@ class IndexHandle:
         except TypeError:  # unhashable search-option values: bypass the cache
             return k, compile_search(
                 self, queries, k=k, retrieval_k=retrieval_k, route=route, plan=plan
-            )
+            ), False
         if hit is not None:
             # Reuse the cached decision, but re-extract this batch's cost
             # features so the reported predicted_cost describes *these*
             # queries, not whichever batch compiled the plan first.
-            return k, reprice_plan(self, hit, queries)
+            return k, reprice_plan(self, hit, queries), True
         compiled = compile_search(
             self, queries, k=k, retrieval_k=retrieval_k, route=route, plan=plan
         )
@@ -966,7 +992,7 @@ class IndexHandle:
             index=self.name, fit_epoch=plan_epoch, shape=shape,
             needs_buckets=needs_buckets, queries=queries, compiled=compiled,
         )
-        return k, compiled
+        return k, compiled, False
 
     def encode_queries(self, raw_queries) -> list[Query]:
         """Encode and validate raw queries without searching.
@@ -991,6 +1017,7 @@ class IndexHandle:
         batch_size: int | None = None,
         route: str | None = None,
         plan: str | None = None,
+        trace: bool = False,
         **search_opts,
     ) -> SearchResult:
         """Retrieve/merge/verify pre-encoded queries (see :meth:`search`).
@@ -1003,10 +1030,26 @@ class IndexHandle:
         :func:`repro.plan.executor.execute_plan`, for serial and sharded
         indexes alike (the serve layer's dispatch lands here too).
         """
-        k, compiled = self._compile(queries, k, route, plan, search_opts)
+        k, compiled, plan_cache_hit = self._compile(queries, k, route, plan, search_opts)
         if len(raw_queries) != len(queries):
             raise QueryError("raw_queries and queries must align")
         active_queries = [queries[i] for i in compiled.active]
+
+        span: Span | None = None
+        if trace:
+            span = Span("search", index=self.name, k=k, queries=len(queries))
+            # Plan routing is pre-dispatch host work, off the batch's
+            # critical path (it overlaps device execution under pipelined
+            # dispatch) — the span sits at t=0 alongside the first scan.
+            plan_attrs = {"cache_hit": plan_cache_hit, "merge": compiled.merge}
+            if compiled.predicted_cost is not None:
+                plan_attrs["predicted_cost"] = compiled.predicted_cost
+            host = self.session.host
+            span.child(
+                "plan",
+                duration=compiled.routing_ops / (host.spec.ops_per_second * host.cores),
+                **plan_attrs,
+            )
 
         # A private sink observes this search's residency events exactly;
         # the session-level log is bounded and may drop older entries.
@@ -1017,7 +1060,7 @@ class IndexHandle:
         try:
             if active_queries:
                 merged, shard_profiles = execute_plan(
-                    compiled, self, active_queries, batch_size, profile
+                    compiled, self, active_queries, batch_size, profile, trace=span
                 )
             else:
                 merged = []
@@ -1032,7 +1075,17 @@ class IndexHandle:
             payload = finalize(
                 raw_queries, queries, results, k=k, host=self.session.host, **search_opts
             )
-            profile.merge(timings_delta(host_before, self.session.host.timings))
+            finalize_profile = timings_delta(host_before, self.session.host.timings)
+            profile.merge(finalize_profile)
+            if span is not None:
+                span.child(
+                    "finalize",
+                    start=max((child.end for child in span.children), default=0.0),
+                    duration=finalize_profile.query_total(),
+                )
+
+        if span is not None:
+            span.duration = max((child.end for child in span.children), default=0.0)
 
         if compiled.shards is not None and shard_profiles is None:
             # Every query was skipped, so no shard ran — but a sharded
@@ -1049,6 +1102,7 @@ class IndexHandle:
             plan=compiled.root,
             routing=compiled.routing,
             predicted_cost=compiled.predicted_cost,
+            trace=span,
         )
         self.last_result = result
         return result

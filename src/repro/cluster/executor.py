@@ -290,12 +290,12 @@ class ShardedIndexHandle(IndexHandle):
         return self._last_shard_profiles
 
     def search_encoded(self, raw_queries, queries, k=None, batch_size=None,
-                       route=None, plan=None, **search_opts):
+                       route=None, plan=None, trace=False, **search_opts):
         """See :meth:`IndexHandle.search_encoded`; tracks shard profiles."""
         self._last_shard_profiles = ()
         result = super().search_encoded(
             raw_queries, queries, k=k, batch_size=batch_size,
-            route=route, plan=plan, **search_opts,
+            route=route, plan=plan, trace=trace, **search_opts,
         )
         self._last_shard_profiles = tuple(result.shard_profiles or ())
         return result

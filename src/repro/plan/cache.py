@@ -43,9 +43,12 @@ evicted shard swaps back in during execution, the *plan* stays valid.
 from __future__ import annotations
 
 import dataclasses
+import logging
 from collections import OrderedDict
 
 from repro.errors import ConfigError
+
+logger = logging.getLogger("repro.plan")
 
 
 class PlanCache:
@@ -160,6 +163,11 @@ class PlanCache:
         for key in stale_buckets:
             del self._buckets[key]
         self.invalidations += len(stale)
+        if stale or stale_buckets:
+            logger.debug(
+                "plan-cache invalidate index=%s plans=%d buckets=%d",
+                index, len(stale), len(stale_buckets),
+            )
         return len(stale)
 
     def clear(self) -> None:

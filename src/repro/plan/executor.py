@@ -34,6 +34,7 @@ def execute_plan(
     queries: list[Query],
     batch_size: int | None,
     profile: StageTimings,
+    trace=None,
 ) -> tuple[list[TopKResult], list[StageTimings] | None]:
     """Run a compiled plan over the *active* queries.
 
@@ -45,6 +46,10 @@ def execute_plan(
         batch_size: Device sub-batch size (Fig. 11 protocol), or ``None``.
         profile: Stage profile the execution accumulates into; for shard
             plans this receives the concurrent critical path.
+        trace: Optional :class:`~repro.obs.trace.Span` the execution adds
+            stage spans to (scan / delta-scan / tombstone-filter / merge),
+            on a timeline starting at 0.0; the caller shifts the subtree
+            onto absolute simulated time. ``None`` records nothing.
 
     Returns:
         ``(results, shard_profiles)``: one result per active query, and
@@ -54,10 +59,13 @@ def execute_plan(
     if stream is not None and stream.dirty:
         # Live mutations: compose the base scan with the delta-segment
         # scans, filtering tombstones before the top-k (repro.stream).
-        return _run_stream(compiled, handle, queries, batch_size, profile)
+        return _run_stream(compiled, handle, queries, batch_size, profile, trace)
     if compiled.shards is None:
-        return _run_serial(handle, queries, compiled.retrieval_k, batch_size, profile), None
-    return _run_shards(compiled, handle, queries, batch_size, profile)
+        results = _run_serial(
+            handle, queries, compiled.retrieval_k, batch_size, profile, trace
+        )
+        return results, None
+    return _run_shards(compiled, handle, queries, batch_size, profile, trace)
 
 
 # ----------------------------------------------------------------------
@@ -70,6 +78,7 @@ def _run_serial(
     k: int,
     batch_size: int | None,
     profile: StageTimings,
+    trace=None,
 ) -> list[TopKResult]:
     session = handle.session
     device = session.device
@@ -87,6 +96,12 @@ def _run_serial(
         swap_seconds = device.timings.get("index_transfer") - transfer_before
         if swap_seconds > 0:
             profile.add("index_transfer", swap_seconds)
+        if trace is not None:
+            trace.child(
+                "scan",
+                duration=part.engine.last_profile.query_total() + max(swap_seconds, 0.0),
+                part=0, queries=len(queries),
+            )
         return results
 
     # Multi-part: query each part, merge per query on the host (Fig. 6).
@@ -96,6 +111,7 @@ def _run_serial(
     # deliberately — keep tie-order changes in sync.
     merged_ids: list[list[np.ndarray]] = [[] for _ in queries]
     merged_counts: list[list[np.ndarray]] = [[] for _ in queries]
+    cursor = 0.0  # serial parts run back to back on the one device
     for part in parts:
         transfer_before = device.timings.get("index_transfer")
         session._ensure_resident(part)
@@ -105,7 +121,15 @@ def _run_serial(
             if handle.swap_parts:
                 session._evict_part(part)
         profile.merge(part.engine.last_profile)
-        profile.add("index_transfer", device.timings.get("index_transfer") - transfer_before)
+        swap_seconds = device.timings.get("index_transfer") - transfer_before
+        profile.add("index_transfer", swap_seconds)
+        if trace is not None:
+            part_seconds = part.engine.last_profile.query_total() + max(swap_seconds, 0.0)
+            trace.child(
+                "scan", start=cursor, duration=part_seconds,
+                part=part.position, queries=len(queries),
+            )
+            cursor += part_seconds
         for qi, part_result in enumerate(part_results):
             merged_ids[qi].append(part_result.ids + part.offset)
             merged_counts[qi].append(part_result.counts)
@@ -121,12 +145,32 @@ def _run_serial(
         results.append(TopKResult(ids=ids[order], counts=counts[order]))
         merge_ops += ids.size * max(1.0, np.log2(max(ids.size, 2)))
     session.host.charge_ops(merge_ops, stage="result_merge")
-    profile.add("result_merge", merge_ops / session.host.spec.ops_per_second)
+    merge_seconds = merge_ops / session.host.spec.ops_per_second
+    profile.add("result_merge", merge_seconds)
+    if trace is not None:
+        trace.child("merge", start=cursor, duration=merge_seconds, parts=len(parts))
     return results
 
 
 # ----------------------------------------------------------------------
 # sharded (one device per shard, routed, one- or two-round merge)
+
+
+def _trace_scans(trace, name: str, routes, profiles, start: float) -> float:
+    """Record one concurrent scan span per routed shard; returns the barrier.
+
+    Shards run concurrently, so every span starts at ``start`` and the
+    returned barrier time is ``start`` plus the slowest shard (``start``
+    itself when every shard was pruned).
+    """
+    end = start
+    for shard, route in enumerate(routes):
+        if route.size == 0:
+            continue
+        seconds = profiles[shard].query_total()
+        trace.child(name, start=start, duration=seconds, shard=shard, queries=int(route.size))
+        end = max(end, start + seconds)
+    return end
 
 
 def _empty_result() -> TopKResult:
@@ -232,6 +276,7 @@ def _run_shards(
     queries: list[Query],
     batch_size: int | None,
     profile: StageTimings,
+    trace=None,
 ) -> tuple[list[TopKResult], list[StageTimings]]:
     # Imported lazily: repro.cluster.executor imports the session module,
     # which imports this executor at module level.
@@ -271,17 +316,29 @@ def _run_shards(
         for shard in range(len(parts)):
             shard_profiles[shard].merge(round1_profiles[shard])
             shard_profiles[shard].merge(round2_profiles[shard])
+        if trace is not None:
+            barrier = _trace_scans(trace, "shard_scan", compiled.routes,
+                                   round1_profiles, 0.0)
+            trace.child("tput_threshold", start=barrier, duration=threshold_seconds)
+            scan_end = _trace_scans(trace, "shard_topup", topup_routes,
+                                    round2_profiles, barrier + threshold_seconds)
     else:
         _scan_round(handle, parts, compiled.routes, queries, compiled.retrieval_k,
                     batch_size, per_shard, round1_profiles)
         profile.merge(critical_path_profile(round1_profiles))
         shard_profiles = round1_profiles
+        if trace is not None:
+            scan_end = _trace_scans(trace, "shard_scan", compiled.routes,
+                                    round1_profiles, 0.0)
 
     merged, merge_seconds = merge_shard_results(
         per_shard, [part.global_ids for part in parts], n_queries,
         compiled.retrieval_k, session.host, n_objects=shards.n_objects,
     )
     profile.add("result_merge", merge_seconds)
+    if trace is not None:
+        trace.child("merge", start=scan_end, duration=merge_seconds,
+                    shards=len(parts))
     return merged, shard_profiles
 
 
@@ -295,6 +352,7 @@ def _run_stream(
     queries: list[Query],
     batch_size: int | None,
     profile: StageTimings,
+    trace=None,
 ) -> tuple[list[TopKResult], list[StageTimings] | None]:
     """Execute a plan over a mutated index (see :mod:`repro.stream`).
 
@@ -397,4 +455,26 @@ def _run_stream(
     if filter_seconds:
         profile.add("tombstone_filter", filter_seconds)
     profile.add("result_merge", merge_seconds)
+    if trace is not None:
+        if compiled.shards is not None:
+            cursor = _trace_scans(trace, "base_scan", base_routes, base_profiles, 0.0)
+        else:
+            cursor = 0.0  # serial base parts share one device: back to back
+            for position, base_profile in enumerate(base_profiles):
+                seconds = base_profile.query_total()
+                trace.child("base_scan", start=cursor, duration=seconds,
+                            part=position, queries=n_queries)
+                cursor += seconds
+        if filter_seconds:
+            trace.child("tombstone_filter", start=cursor, duration=filter_seconds,
+                        tombstones=int(tombstones.size))
+            cursor += filter_seconds
+        # Delta segments scan sequentially on the session's primary device.
+        for segment, delta_profile in enumerate(delta_profiles):
+            seconds = delta_profile.query_total()
+            trace.child("delta_scan", start=cursor, duration=seconds,
+                        segment=segment, queries=n_queries)
+            cursor += seconds
+        trace.child("merge", start=cursor, duration=merge_seconds,
+                    sources=len(all_results))
     return merged, shard_profiles

@@ -5,38 +5,48 @@ seeded workload produces bit-identical numbers on every run — latency
 percentiles are CI-assertable, not flaky. Percentiles use the
 nearest-rank method (no interpolation): ``p50`` of a recorded population
 is always one of the recorded latencies.
+
+Internally every scalar counter lives in a
+:class:`~repro.obs.registry.MetricsRegistry` of typed primitives
+(:class:`~repro.obs.registry.Counter` /
+:class:`~repro.obs.registry.Histogram`), and the batch-size histogram is
+cardinality-bounded — but the public surface is unchanged: the same
+attributes read and write as before, and :meth:`ServeMetrics.snapshot`
+exports the same keys it always has (a back-compat test enforces it).
 """
 
 from __future__ import annotations
 
-import numpy as np
+from repro.obs.drift import DriftTracker
+from repro.obs.registry import Histogram, MetricsRegistry, percentile_nearest_rank
 
-from repro.errors import ConfigError
+__all__ = ["REPORTED_PERCENTILES", "ServeMetrics", "percentile_nearest_rank"]
 
 #: Percentiles reported by :meth:`ServeMetrics.snapshot`.
 REPORTED_PERCENTILES = (50.0, 95.0, 99.0)
 
+#: Distinct batch sizes the histogram keeps exact before clamping new
+#: values onto the nearest existing bin. Far above any realistic
+#: ``max_batch`` policy, so normal workloads never clamp; adversarial
+#: long-running traffic stays bounded.
+BATCH_SIZE_BINS = 128
 
-def percentile_nearest_rank(values, p: float) -> float:
-    """Nearest-rank percentile ``p`` of ``values``.
 
-    Returns ``0.0`` for an empty population (a server that has completed
-    nothing has no latency yet).
+def _counter_property(name: str):
+    """Expose a registry counter as a plain read/write int-like attribute.
 
-    Raises:
-        ConfigError: Unless ``0 < p <= 100`` — ``p <= 0`` would silently
-            underflow to the minimum and ``p > 100`` would index past the
-            end of the population.
+    Call sites accumulate with ``metrics.rejected += 1`` exactly as they
+    did when these were bare instance attributes; the property routes the
+    read and the write-back through the registered counter.
     """
-    p = float(p)
-    if not 0.0 < p <= 100.0:
-        raise ConfigError(f"percentile must be in (0, 100], got {p}")
-    if len(values) == 0:
-        return 0.0
-    ordered = np.sort(np.asarray(values, dtype=np.float64))
-    # ceil of a positive fraction of a positive size is in [1, size].
-    rank = int(np.ceil(p / 100.0 * ordered.size))
-    return float(ordered[rank - 1])
+
+    def fget(self):
+        return self._registry.get(name).value
+
+    def fset(self, value):
+        self._registry.get(name).value = value
+
+    return property(fget, fset, doc=f"Registry counter ``{name}``.")
 
 
 class ServeMetrics:
@@ -45,11 +55,17 @@ class ServeMetrics:
     Attributes:
         submitted: Requests admitted (queued or served from cache).
         completed: Requests answered, including cache hits.
-        rejected: Requests refused by admission control.
+        rejected: Requests refused by queue-full admission control.
+        rejected_by_reason: Refusal breakdown ``{reason: count}`` over
+            ``"queue_full"`` / ``"closed"`` / ``"bad_directive"`` — the
+            latter two fail the caller without touching ``rejected``
+            (whose queue-full-only meaning predates the breakdown).
         failed: Requests whose batch raised (the error is on the future).
         cache_hits / cache_misses: Admission-time cache outcomes.
         batches: Coalesced search calls dispatched.
-        batch_sizes: Histogram ``{batch_size: count}``.
+        batch_sizes: Histogram ``{batch_size: count}`` — a bounded
+            :class:`~repro.obs.registry.Histogram` view, exact up to
+            ``BATCH_SIZE_BINS`` distinct sizes.
         swap_ins / evictions: Residency events caused by dispatched batches.
         busy_seconds: Simulated device-service time consumed by batches.
             For sharded batches this is the *critical path* (the shards
@@ -68,23 +84,39 @@ class ServeMetrics:
             :mod:`repro.stream`), the latest observed delta-posting gauge
             and lifetime compaction count — how much un-compacted write
             pressure each streamed index carries.
+        drift: :class:`~repro.obs.drift.DriftTracker` of per-batch
+            predicted-vs-observed cost relative error; ``snapshot()``
+            reports its rolling ``cost_drift_p50`` / ``cost_drift_p90``.
+        registry: The :class:`~repro.obs.registry.MetricsRegistry`
+            holding the typed primitives behind the scalar attributes.
     """
 
+    submitted = _counter_property("submitted")
+    completed = _counter_property("completed")
+    rejected = _counter_property("rejected")
+    failed = _counter_property("failed")
+    cache_hits = _counter_property("cache_hits")
+    cache_misses = _counter_property("cache_misses")
+    batches = _counter_property("batches")
+    swap_ins = _counter_property("swap_ins")
+    evictions = _counter_property("evictions")
+    busy_seconds = _counter_property("busy_seconds")
+    sharded_batches = _counter_property("sharded_batches")
+    routed_batches = _counter_property("routed_batches")
+
     def __init__(self):
-        self.submitted = 0
-        self.completed = 0
-        self.rejected = 0
-        self.failed = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.batches = 0
-        self.batch_sizes: dict[int, int] = {}
-        self.swap_ins = 0
-        self.evictions = 0
-        self.busy_seconds = 0.0
+        registry = MetricsRegistry()
+        for name in (
+            "submitted", "completed", "rejected", "failed",
+            "cache_hits", "cache_misses", "batches",
+            "swap_ins", "evictions", "sharded_batches", "routed_batches",
+        ):
+            registry.counter(name)
+        registry.counter("busy_seconds").value = 0.0
+        self._registry = registry
+        self._batch_hist = registry.histogram("batch_sizes", max_bins=BATCH_SIZE_BINS)
+        self.rejected_by_reason: dict[str, int] = {}
         self.shard_busy_seconds: dict[int, float] = {}
-        self.sharded_batches = 0
-        self.routed_batches = 0
         self._scanned_pairs = 0
         self._pruned_pairs = 0
         self.first_arrival: float | None = None
@@ -94,6 +126,22 @@ class ServeMetrics:
         self.plan_cache = None
         self.delta_postings: dict[str, int] = {}
         self.compactions: dict[str, int] = {}
+        self.drift = DriftTracker()
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The typed-primitive registry behind the scalar attributes."""
+        return self._registry
+
+    @property
+    def batch_sizes(self) -> dict:
+        """Live ``{batch_size: count}`` bins of the bounded histogram."""
+        return self._batch_hist.bins
+
+    @property
+    def batch_size_histogram(self) -> Histogram:
+        """The bounded :class:`~repro.obs.registry.Histogram` itself."""
+        return self._batch_hist
 
     # ------------------------------------------------------------------
     # recording
@@ -112,6 +160,16 @@ class ServeMetrics:
         if self.last_completion is None or completed_at > self.last_completion:
             self.last_completion = completed_at
 
+    def record_rejection(self, reason: str) -> None:
+        """Note one refused admission under its reason.
+
+        Reasons: ``"queue_full"`` (backpressure; also counted in
+        ``rejected``), ``"closed"`` (server or session shut down), and
+        ``"bad_directive"`` (invalid ``k``/``route``/``plan``/options or
+        a malformed query failing at the door).
+        """
+        self.rejected_by_reason[reason] = self.rejected_by_reason.get(reason, 0) + 1
+
     def record_batch(
         self,
         size: int,
@@ -120,6 +178,8 @@ class ServeMetrics:
         evictions: int,
         shard_seconds: list[float] | None = None,
         routing=None,
+        predicted_cost: float | None = None,
+        observed_seconds: float | None = None,
     ) -> None:
         """Note one dispatched batch and its residency side effects.
 
@@ -134,9 +194,14 @@ class ServeMetrics:
                 :class:`~repro.plan.nodes.RoutingSummary` when it ran on
                 a sharded index (``None`` otherwise) — feeds the
                 routed-vs-broadcast counters.
+            predicted_cost: The planner's predicted seconds over the
+                costed stages, when the plan was priced.
+            observed_seconds: The observed seconds over those same
+                stages; with ``predicted_cost`` it feeds the rolling
+                cost-drift gauges.
         """
         self.batches += 1
-        self.batch_sizes[size] = self.batch_sizes.get(size, 0) + 1
+        self._batch_hist.observe(int(size))
         self.busy_seconds += float(service_seconds)
         self.swap_ins += int(swap_ins)
         self.evictions += int(evictions)
@@ -151,6 +216,8 @@ class ServeMetrics:
             self._pruned_pairs += int(routing.pruned_pairs)
             if not routing.broadcast:
                 self.routed_batches += 1
+        if predicted_cost is not None:
+            self.drift.record(predicted_cost, observed_seconds)
 
     def record_stream(self, index: str, delta_postings: int, compactions: int) -> None:
         """Note a mutable index's stream gauges after a dispatched batch.
@@ -184,9 +251,12 @@ class ServeMetrics:
 
     @property
     def mean_batch_size(self) -> float:
-        """Average requests per dispatched batch."""
-        total = sum(size * count for size, count in self.batch_sizes.items())
-        return total / self.batches if self.batches else 0.0
+        """Average requests per dispatched batch.
+
+        Computed from the histogram's exact raw accumulators, so bin
+        clamping never moves the mean.
+        """
+        return self._batch_hist.total / self.batches if self.batches else 0.0
 
     @property
     def shard_imbalance(self) -> float:
@@ -226,7 +296,11 @@ class ServeMetrics:
         """The whole metrics surface as one flat dict.
 
         Keys are stable and values deterministic for a seeded workload;
-        tests compare snapshots of repeated runs for equality.
+        tests compare snapshots of repeated runs for equality. Every key
+        that existed before the registry refactor is still exported with
+        an identical value (enforced by the back-compat test); the
+        additions are ``rejected_by_reason`` and the ``cost_drift_*``
+        gauges.
         """
         snap = {
             "submitted": self.submitted,
@@ -237,7 +311,7 @@ class ServeMetrics:
             "cache_misses": self.cache_misses,
             "batches": self.batches,
             "mean_batch_size": self.mean_batch_size,
-            "batch_size_histogram": dict(sorted(self.batch_sizes.items())),
+            "batch_size_histogram": self._batch_hist.as_dict(),
             "swap_ins": self.swap_ins,
             "evictions": self.evictions,
             "busy_seconds": self.busy_seconds,
@@ -258,6 +332,10 @@ class ServeMetrics:
             "plan_cache_size": len(self.plan_cache) if self.plan_cache is not None else 0,
             "delta_postings": sum(self.delta_postings.values()),
             "compactions": sum(self.compactions.values()),
+            "rejected_by_reason": dict(sorted(self.rejected_by_reason.items())),
+            "cost_drift_p50": self.drift.p50,
+            "cost_drift_p90": self.drift.p90,
+            "cost_drift_samples": self.drift.samples,
         }
         for p in REPORTED_PERCENTILES:
             snap[f"latency_p{p:g}"] = self.latency(p)

@@ -31,10 +31,13 @@ keeps every batching decision deterministic.
 
 from __future__ import annotations
 
+import logging
 from collections import deque
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
+
+logger = logging.getLogger("repro.serve")
 
 #: Policy kinds understood by the scheduler.
 POLICY_KINDS = ("fifo", "micro")
@@ -172,6 +175,7 @@ class MicroBatchScheduler:
             if best_name is None:
                 return batches
             batches.append((best_name, [self._queues[best_name].popleft()]))
+            logger.debug("dispatch index=%s batch=1 trigger=fifo", best_name)
 
     def _pop_micro(self, now: float, drain: bool) -> list[tuple[str, list]]:
         batches: list[tuple[str, list]] = []
@@ -184,9 +188,21 @@ class MicroBatchScheduler:
                 queue = self._queues.get(name)
                 if not queue:
                     continue
-                if drain or self._ready(queue, now):
-                    batches.append((name, self._gather(queue)))
-                    progressed = True
+                if not (drain or self._ready(queue, now)):
+                    continue
+                if drain:
+                    trigger = "drain"
+                elif len(queue) >= self.policy.max_batch:
+                    trigger = "size"
+                else:
+                    trigger = "wait"
+                batch = self._gather(queue)
+                batches.append((name, batch))
+                progressed = True
+                logger.debug(
+                    "dispatch index=%s batch=%d trigger=%s queued=%d",
+                    name, len(batch), trigger, len(queue),
+                )
         return batches
 
     def _ready(self, queue: deque, now: float) -> bool:

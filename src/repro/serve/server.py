@@ -28,17 +28,22 @@ deadlines in order, and ``drain()``/``close()`` flush everything queued.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 from repro.api.models import resolve_shortlist_k
 from repro.api.session import GenieSession
 from repro.errors import AdmissionError, ConfigError, QueryError, ReproError
 from repro.gpu.stats import StageTimings
+from repro.obs.trace import Span, Tracer
+from repro.plan.cost import PREDICTED_STAGES
 from repro.plan.planner import validate_plan_args
 from repro.serve.cache import QueryResultCache, make_cache_key
 from repro.serve.clock import VirtualClock
 from repro.serve.metrics import ServeMetrics
 from repro.serve.scheduler import BatchPolicy, MicroBatchScheduler
+
+logger = logging.getLogger("repro.serve")
 
 
 @dataclass
@@ -60,6 +65,11 @@ class RequestMetadata:
         cache_hit: Whether the exact-match cache answered it.
         profile: The *batch's* per-stage profile (shared by all requests
             of the batch); ``None`` for cache hits.
+        trace: The request's span tree (:class:`~repro.obs.trace.Span`)
+            when the server's tracer sampled it: admit → cache lookup →
+            queue wait → batch ride → plan/scan/merge execution spans,
+            all on the virtual clock. ``None`` for unsampled requests
+            (which allocate no spans at all).
     """
 
     index: str
@@ -72,6 +82,7 @@ class RequestMetadata:
     batch_size: int = 0
     cache_hit: bool = False
     profile: StageTimings | None = None
+    trace: Span | None = None
 
     @property
     def queue_time(self) -> float | None:
@@ -155,9 +166,11 @@ class RequestFuture:
 class _ServeRequest:
     """Internal queued request: what the scheduler and dispatcher see."""
 
-    __slots__ = ("seq", "index", "raw", "query", "lane", "arrival", "future", "cache_key")
+    __slots__ = ("seq", "index", "raw", "query", "lane", "arrival", "future",
+                 "cache_key", "trace")
 
-    def __init__(self, seq, index, raw, query, lane, arrival, future, cache_key):
+    def __init__(self, seq, index, raw, query, lane, arrival, future, cache_key,
+                 trace=None):
         self.seq = seq
         self.index = index
         self.raw = raw
@@ -168,6 +181,7 @@ class _ServeRequest:
         self.arrival = arrival
         self.future = future
         self.cache_key = cache_key
+        self.trace = trace
 
 
 class GenieServer:
@@ -192,6 +206,11 @@ class GenieServer:
             defaults are shard strategies and apply to sharded indexes
             only; requests to serial indexes ignore them (an explicit
             per-request directive is still validated strictly).
+        trace_sample: Trace one request in this many through a
+            :class:`~repro.obs.trace.Tracer` (``1`` traces everything;
+            the choice is deterministic from the admission sequence
+            number). ``None`` disables tracing entirely — untraced
+            serving allocates no spans.
     """
 
     def __init__(
@@ -203,6 +222,7 @@ class GenieServer:
         cache_size: int | None = 1024,
         route: str | None = None,
         plan: str | None = None,
+        trace_sample: int | None = None,
     ):
         if int(max_queue_depth) < 1:
             raise ConfigError("max_queue_depth must be >= 1")
@@ -228,6 +248,12 @@ class GenieServer:
         # Surface the session's plan-cache counters in snapshot(): warm
         # lanes skipping compilation is a serving property worth watching.
         self.metrics.plan_cache = session.plan_cache
+        self.tracer = None
+        if trace_sample is not None:
+            self.tracer = Tracer(sample_every=trace_sample, clock=self.clock)
+            # Background session work (stream compaction) records its
+            # standalone spans through the same tracer and clock.
+            session.tracer = self.tracer
         self._seq = 0
         self._device_free = 0.0
         self._closed = False
@@ -270,20 +296,34 @@ class GenieServer:
                 shard-only ``route``/``plan`` on a serial index.
             AdmissionError: Queue full (explicit backpressure).
         """
-        self._check_open()
-        self.session._check_open()
-        handle = self.session.index(index)
-        k = int(k if k is not None else handle.config.k)
-        if k < 1:
-            raise QueryError("k must be >= 1")
-        # The normalized forms go into the lane so equivalent directives
-        # (None vs the explicit "auto") coalesce into one batch.
-        route, plan = self._resolve_directives(handle, route, plan)
-        opts_key = tuple(sorted(opts.items()))
-        resolve_shortlist_k(handle.model, k, opts)  # validates the options eagerly
-        query = handle.encode_queries([raw_query])[0]
+        try:
+            self._check_open()
+            self.session._check_open()
+        except ConfigError:
+            self.metrics.record_rejection("closed")
+            logger.debug("admission reject reason=closed index=%s", index)
+            raise
+        try:
+            handle = self.session.index(index)
+            k = int(k if k is not None else handle.config.k)
+            if k < 1:
+                raise QueryError("k must be >= 1")
+            # The normalized forms go into the lane so equivalent directives
+            # (None vs the explicit "auto") coalesce into one batch.
+            route, plan = self._resolve_directives(handle, route, plan)
+            opts_key = tuple(sorted(opts.items()))
+            resolve_shortlist_k(handle.model, k, opts)  # validates the options eagerly
+            query = handle.encode_queries([raw_query])[0]
+        except (ConfigError, QueryError) as error:
+            self.metrics.record_rejection("bad_directive")
+            logger.debug(
+                "admission reject reason=bad_directive index=%s error=%s", index, error
+            )
+            raise
 
         now = self.clock.now()
+        tracer = self.tracer
+        sampled = tracer is not None and tracer.sampled(self._seq)
         cache_key = None
         if self.cache is not None:
             cache_key = self._cache_key(handle, index, raw_query, query, k, opts_key)
@@ -291,17 +331,36 @@ class GenieServer:
             cached = self.cache.get(cache_key)
             if cached is not None:
                 self.metrics.cache_hits += 1
-                return self._answer_from_cache(index, k, cached, now)
+                future = self._answer_from_cache(index, k, cached, now)
+                if sampled:
+                    root = Span("request", start=now, seq=future.metadata.seq,
+                                index=index, k=k, cache_hit=True)
+                    root.child("admit", start=now)
+                    root.child("cache_lookup", start=now, hit=True)
+                    future.metadata.trace = root
+                    tracer.record(root)
+                return future
             self.metrics.cache_misses += 1
 
         if self.scheduler.depth + 1 > self.max_queue_depth:
             self.metrics.rejected += 1
+            self.metrics.record_rejection("queue_full")
+            logger.debug(
+                "admission reject reason=queue_full index=%s depth=%d limit=%d",
+                index, self.scheduler.depth, self.max_queue_depth,
+            )
             raise AdmissionError(self.scheduler.depth, self.max_queue_depth)
 
+        trace_span = None
+        if sampled:
+            trace_span = Span("request", start=now, seq=self._seq, index=index, k=k)
+            trace_span.child("admit", start=now)
+            if cache_key is not None:
+                trace_span.child("cache_lookup", start=now, hit=False)
         future = RequestFuture(RequestMetadata(index=index, k=k, seq=self._seq, arrival=now))
         request = _ServeRequest(
             self._seq, index, raw_query, query, (k, opts_key, route, plan),
-            now, future, cache_key,
+            now, future, cache_key, trace=trace_span,
         )
         self._seq += 1
         self.metrics.record_arrival(now)
@@ -328,6 +387,12 @@ class GenieServer:
         raw_queries = list(raw_queries)
         if self.scheduler.depth + len(raw_queries) > self.max_queue_depth:
             self.metrics.rejected += len(raw_queries)
+            for _ in raw_queries:
+                self.metrics.record_rejection("queue_full")
+            logger.debug(
+                "admission reject reason=queue_full index=%s burst=%d depth=%d limit=%d",
+                index, len(raw_queries), self.scheduler.depth, self.max_queue_depth,
+            )
             raise AdmissionError(self.scheduler.depth, self.max_queue_depth)
         return [
             self.submit(index, raw, k=k, route=route, plan=plan, **opts)
@@ -516,6 +581,11 @@ class GenieServer:
         raw = [r.raw for r in requests]
         queries = [r.query for r in requests]
         start = max(now, self._device_free)
+        # One execution trace per batch, shared (copied) into every
+        # sampled rider; a batch of unsampled requests records nothing.
+        want_trace = self.tracer is not None and any(
+            r.trace is not None for r in requests
+        )
         try:
             # The lookup is inside the guard: the index may have been
             # dropped while these requests were queued, and that must fail
@@ -524,7 +594,8 @@ class GenieServer:
             # same plan rules, same bit-identical results.
             handle = self.session.index(index)
             result = handle.search_encoded(
-                raw, queries, k=k, route=route, plan=plan, **dict(opts_key)
+                raw, queries, k=k, route=route, plan=plan, trace=want_trace,
+                **dict(opts_key)
             )
         except ReproError as error:
             self.metrics.failed += len(requests)
@@ -549,12 +620,21 @@ class GenieServer:
         completed = start + service
         self._device_free = completed
         shard_profiles = result.shard_profiles
+        observed_cost = None
+        if result.predicted_cost is not None:
+            # Observed seconds over exactly the stages the model prices —
+            # the same convention the calibration replay audits against.
+            observed_cost = sum(
+                result.profile.get(stage) for stage in PREDICTED_STAGES
+            )
         self.metrics.record_batch(
             len(requests), service, result.swapped_in, len(result.evicted),
             shard_seconds=[p.query_total() for p in shard_profiles]
             if shard_profiles
             else None,
             routing=result.routing,
+            predicted_cost=result.predicted_cost,
+            observed_seconds=observed_cost,
         )
         manifest = getattr(handle, "manifest", None)
         if manifest is not None:
@@ -570,6 +650,20 @@ class GenieServer:
             metadata.completed = completed
             metadata.batch_size = len(requests)
             metadata.profile = result.profile
+            if request.trace is not None:
+                root = request.trace
+                root.child("queue_wait", start=request.arrival,
+                           duration=now - request.arrival)
+                batch_span = root.child("batch", start=start, duration=service,
+                                        batch_size=len(requests))
+                if result.trace is not None:
+                    # The execution subtree is on the search's own 0-based
+                    # timeline and shared by every rider: shift a copy
+                    # onto absolute time under this request's batch span.
+                    batch_span.children.append(result.trace.copy().shift(start))
+                root.duration = completed - root.start
+                metadata.trace = root
+                self.tracer.record(root)
             request.future._resolve(result.results[i], payload_i)
             self.metrics.record_completion(completed - request.arrival, now - request.arrival, completed)
             if self.cache is not None and request.cache_key is not None:
@@ -587,4 +681,5 @@ class GenieServer:
         snap["device_busy_until"] = self._device_free
         snap["closed"] = self._closed
         snap["cache"] = self.cache.stats() if self.cache is not None else None
+        snap["traces"] = self.tracer.total_traces if self.tracer is not None else 0
         return snap

@@ -18,13 +18,19 @@ the tombstone filter as host binary-search work.
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 
 from repro.core.inverted_index import InvertedIndex
 from repro.core.types import ID_DTYPE, Corpus
 from repro.errors import QueryError
+from repro.gpu.stats import timings_delta
+from repro.obs.trace import Span
 from repro.stream.delta import DeltaSegment, StreamConfig
 from repro.stream.manifest import SegmentManifest
+
+logger = logging.getLogger("repro.stream")
 
 
 class StreamState:
@@ -312,7 +318,12 @@ class StreamState:
         """
         if not self.dirty:
             return False
+        session = self.handle.session
         manifest = self.manifest
+        folded_segments = len(manifest.segments)
+        folded_postings = int(manifest.delta_postings)
+        folded_tombstones = len(manifest.tombstones)
+        host_before = session.host.timings.copy()
         corpus = self.full_corpus()
         self.release()
         self.handle._rebuild_base(corpus)
@@ -322,7 +333,23 @@ class StreamState:
         manifest.base_epoch += 1
         manifest.compactions += 1
         self._tombstone_array = None
-        cache = self.handle.session.plan_cache
+        cache = session.plan_cache
         if cache is not None:
             cache.invalidate(self.handle.name)
+        spent = timings_delta(host_before, session.host.timings).total
+        logger.debug(
+            "compact index=%s segments=%d postings=%d tombstones=%d "
+            "base_epoch=%d seconds=%.6g",
+            self.handle.name, folded_segments, folded_postings,
+            folded_tombstones, manifest.base_epoch, spent,
+        )
+        tracer = getattr(session, "tracer", None)
+        if tracer is not None:
+            start = tracer.clock.now() if tracer.clock is not None else 0.0
+            tracer.record(Span(
+                "compaction", start=start, duration=spent,
+                index=self.handle.name, segments=folded_segments,
+                postings=folded_postings, tombstones=folded_tombstones,
+                base_epoch=manifest.base_epoch,
+            ))
         return True

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.api import GenieSession
-from repro.errors import ConfigError
+from repro.errors import AdmissionError, ConfigError, QueryError
 from repro.serve import BatchPolicy, GenieServer, ServeMetrics, percentile_nearest_rank
 
 
@@ -152,3 +152,39 @@ class TestRoutingCounters:
         assert snap["sharded_batches"] == 2
         assert snap["routed_batches"] == 1
         assert 0.0 < snap["pruned_shard_fraction"] < 1.0
+
+
+class TestRejectedByReason:
+    def test_queue_full_counts_under_its_reason(self):
+        server = make_server(BatchPolicy.micro(max_batch=10, max_wait=100.0),
+                             max_queue_depth=2)
+        server.submit("tweets", DOCS[0], k=2)
+        server.submit("tweets", DOCS[1], k=2)
+        with pytest.raises(AdmissionError):
+            server.submit("tweets", DOCS[2], k=2)
+        assert server.metrics.rejected == 1  # legacy queue-full counter
+        assert server.metrics.rejected_by_reason == {"queue_full": 1}
+        server.drain()
+        server.close()
+
+    def test_bad_directive_and_closed_reasons(self):
+        server = make_server()
+        with pytest.raises(QueryError):
+            server.submit("tweets", DOCS[0], k=0)
+        with pytest.raises(ConfigError):
+            server.submit("nope", DOCS[0], k=2)
+        server.close()
+        with pytest.raises(ConfigError, match="closed"):
+            server.submit("tweets", DOCS[0], k=2)
+        snap = server.snapshot()
+        assert snap["rejected_by_reason"] == {"bad_directive": 2, "closed": 1}
+        # Validation rejections never inflated the queue-full counter.
+        assert snap["rejected"] == 0
+
+    def test_burst_rejection_counts_every_request(self):
+        server = make_server(BatchPolicy.micro(max_batch=10, max_wait=100.0),
+                             max_queue_depth=3)
+        with pytest.raises(AdmissionError):
+            server.submit_many("tweets", DOCS[:5], k=2)
+        assert server.metrics.rejected_by_reason == {"queue_full": 5}
+        server.close()
