@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, InvariantError
 
 
 class Gate:
@@ -67,12 +67,19 @@ class Gate:
         return True
 
     def check_invariant(self) -> None:
-        """Assert Lemma 3.1: ``ZA[AT] < k``, and ``ZA[AT-1] >= k`` if AT > 1.
+        """Check Lemma 3.1: ``ZA[AT] < k``, and ``ZA[AT-1] >= k`` if AT > 1.
 
         Raises:
-            AssertionError: If the invariant is violated.
+            InvariantError: If the invariant is violated. (Previously an
+                ``assert``, which ``python -O`` would have stripped.)
         """
-        if self._at <= self.count_bound:
-            assert self._za[self._at] < self.k, "ZA[AT] must stay below k"
-        if self._at > 1:
-            assert self._za[self._at - 1] >= self.k, "ZA[AT-1] must have reached k"
+        if self._at <= self.count_bound and self._za[self._at] >= self.k:
+            raise InvariantError(
+                f"ZA[AT] must stay below k: ZA[{self._at}] = "
+                f"{int(self._za[self._at])} >= {self.k}"
+            )
+        if self._at > 1 and self._za[self._at - 1] < self.k:
+            raise InvariantError(
+                f"ZA[AT-1] must have reached k: ZA[{self._at - 1}] = "
+                f"{int(self._za[self._at - 1])} < {self.k}"
+            )

@@ -43,6 +43,16 @@ class ConfigError(ReproError):
     """Raised when an engine or structure is configured inconsistently."""
 
 
+class InvariantError(ReproError):
+    """Raised when a structure's internal invariant is found violated.
+
+    Unlike ``assert`` (stripped under ``python -O``), this check always
+    runs, and unlike a generic crash it is catchable as a
+    :class:`ReproError` — a caller probing a structure's health gets a
+    taxonomy error, not an interpreter artifact.
+    """
+
+
 class AdmissionError(ReproError):
     """Raised when a serving queue refuses a request (explicit backpressure).
 

@@ -114,6 +114,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--full", action="store_true", help="benchmark-scale runs (slower)")
     args = parser.parse_args(argv)
 
+    # Real wall clock, on purpose: this CLI times the *regeneration* for
+    # the human running it, not anything simulated. Baselined as REPRO001
+    # in repro.lint.baseline — nothing under the simulator imports this.
     start = time.time()
     for label, runner in _EXPERIMENTS:
         t0 = time.time()

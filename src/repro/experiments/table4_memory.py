@@ -31,15 +31,17 @@ def run(
     datasets: tuple[str, ...] = ("ocr", "sift", "dblp", "tweets", "adult"),
     n: int | None = None,
     k: int = 100,
-    seed: int = 0,
 ) -> ResultTable:
     """Compute per-query memory and max batch size for both variants.
+
+    Table IV is a pure formula with no randomness, so unlike the other
+    runners it takes no ``seed=`` — accepting one it ignored would let a
+    caller believe the run was pinned (REPRO006).
 
     Args:
         datasets: Which datasets to tabulate.
         n: Cardinality override (paper cardinalities when omitted).
         k: Result size (the paper uses k = 100 here).
-        seed: Unused; accepted for harness uniformity.
     """
     table = ResultTable(
         title="Table IV: device memory per query (bytes) and max batch size",

@@ -1,0 +1,66 @@
+"""repro.lint — AST-based static enforcement of this repo's invariants.
+
+Every guarantee the reproduction ships — bit-identical results across
+plan strategies, byte-identical traces across seeded runs, honest stage
+accounting behind the calibrated cost model — is otherwise enforced
+only dynamically, by tests that must think to exercise the violation.
+This package makes the whole *class* of regressions checkable at commit
+time: a rule registry with stable ids, AST visitors over ``src/``, a
+per-file allowlist baseline for accepted legacy findings, and a
+deterministic report (byte-identical across runs) wired into tier-1 and
+CI.
+
+Run it::
+
+    PYTHONPATH=src python -m repro.lint            # lint the package tree
+    PYTHONPATH=src python -m repro.lint --strict   # also fail on stale baseline
+    PYTHONPATH=src python -m repro.lint --list-rules
+
+Shipped rules:
+
+======== ================== ==========================================
+id       title              invariant
+======== ================== ==========================================
+REPRO001 determinism        no wall clocks, stdlib/global RNG, or
+                            unseeded ``default_rng()`` in simulated paths
+REPRO002 error-taxonomy     raise only ``ReproError`` subclasses; no
+                            swallowing handlers; no runtime ``assert``
+REPRO003 stage-accounting   every ``launch``/``charge_*``/transfer names
+                            its profile stage
+REPRO004 metrics-discipline metric names register once; snapshot keys
+                            only grow
+REPRO005 mutable-defaults   no mutable default arguments
+REPRO006 seed-hygiene       an accepted ``seed=`` is threaded, never
+                            ignored or re-derived
+======== ================== ==========================================
+"""
+
+from repro.lint.baseline import (
+    Baseline,
+    BaselineEntry,
+    DEFAULT_BASELINE,
+    EMPTY_BASELINE,
+)
+from repro.lint.context import FileContext
+from repro.lint.engine import Report, collect_files, display_path, lint_paths, lint_sources
+from repro.lint.findings import Finding, PARSE_RULE_ID
+from repro.lint.registry import Rule, all_rules, get_rule, register
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "DEFAULT_BASELINE",
+    "EMPTY_BASELINE",
+    "FileContext",
+    "Finding",
+    "PARSE_RULE_ID",
+    "Report",
+    "Rule",
+    "all_rules",
+    "collect_files",
+    "display_path",
+    "get_rule",
+    "lint_paths",
+    "lint_sources",
+    "register",
+]

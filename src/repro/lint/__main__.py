@@ -1,0 +1,76 @@
+"""CLI entry point: ``python -m repro.lint [paths...]``.
+
+Exit code 0 when the tree is clean against the shipped baseline, 1 on
+any unbaselined finding — and, under ``--strict``, on stale baseline
+entries too (the allowlist must only ever shrink). Output is
+deterministic: two consecutive runs over the same tree emit identical
+bytes, which tier-1 asserts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import DEFAULT_BASELINE, EMPTY_BASELINE
+from repro.lint.engine import lint_paths
+from repro.lint.registry import all_rules
+
+
+def _default_root() -> Path:
+    """The installed/source ``repro`` package tree itself."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based invariant checker for the GENIE reproduction.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package tree)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on stale baseline entries that no longer match anything",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the shipped baseline and report every finding",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="additionally write the report to FILE (CI artifact)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.title}: {rule.rationale}")
+        return 0
+
+    paths = args.paths or [_default_root()]
+    baseline = EMPTY_BASELINE if args.no_baseline else DEFAULT_BASELINE
+    report = lint_paths(paths, baseline=baseline)
+    text = report.render(strict=args.strict)
+    print(text)
+    if args.output:
+        Path(args.output).write_text(text + "\n", encoding="utf-8")
+    return report.exit_code(strict=args.strict)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

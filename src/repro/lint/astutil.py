@@ -1,0 +1,85 @@
+"""Small AST helpers: import-alias resolution and dotted call paths.
+
+The determinism and seed-hygiene rules need to know that ``t()`` after
+``from time import time as t`` is a wall-clock call and that
+``npr.default_rng()`` after ``import numpy.random as npr`` is numpy's
+generator factory. :func:`import_map` records what every imported name
+canonically refers to; :func:`dotted_path` resolves a ``Name`` /
+``Attribute`` chain against that map, returning e.g.
+``"numpy.random.default_rng"`` — or ``None`` when the root is a local
+object (``self.rng.integers`` resolves to nothing, deliberately).
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+def import_map(tree: ast.Module) -> dict[str, str]:
+    """Map every imported binding to the dotted path it refers to.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``;
+    ``from numpy.random import default_rng`` ->
+    ``{"default_rng": "numpy.random.default_rng"}``;
+    ``import numpy.random`` binds the root: ``{"numpy": "numpy"}``.
+    Star imports and relative imports resolve conservatively (star: not
+    recorded; relative: the module text as written).
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                target = f"{module}.{alias.name}" if module else alias.name
+                aliases[alias.asname or alias.name] = target
+    return aliases
+
+
+def dotted_path(node: ast.AST, aliases: dict[str, str]) -> str | None:
+    """Resolve a Name/Attribute chain to its canonical dotted path.
+
+    Returns ``None`` when the chain does not root in an imported name —
+    attribute access on local objects is out of scope for module-path
+    rules.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = aliases.get(node.id)
+    if base is None:
+        return None
+    parts.append(base)
+    return ".".join(reversed(parts))
+
+
+def call_path(call: ast.Call, aliases: dict[str, str]) -> str | None:
+    """:func:`dotted_path` of a call's callee."""
+    return dotted_path(call.func, aliases)
+
+
+def names_in(node: ast.AST) -> set[str]:
+    """Every plain name and attribute terminal referenced under ``node``.
+
+    Used by the seed-threading check: ``default_rng([seed, 1, i])``
+    references ``seed``; ``default_rng(self.seed)`` references ``seed``
+    through the attribute terminal.
+    """
+    found: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            found.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            found.add(sub.attr)
+    return found

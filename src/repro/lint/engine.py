@@ -1,0 +1,228 @@
+"""The lint engine: collect files, run every rule, apply the baseline.
+
+Determinism is the design constraint everything else hangs off: files
+are walked in sorted display-path order, findings sort by (path, line,
+col, rule, message), the rendered report carries no timestamps or
+absolute paths, and two consecutive runs over the same tree emit
+byte-identical text (a tier-1 test asserts exactly that).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.baseline import Baseline, BaselineEntry, DEFAULT_BASELINE, EMPTY_BASELINE
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding, PARSE_RULE_ID
+from repro.lint.registry import Rule, all_rules
+
+
+def display_path(path: Path) -> str:
+    """Stable display path: ``repro/...`` for files under the package.
+
+    Anchoring on the last ``/repro/`` component makes the same file
+    render identically whether the linter was handed ``src``,
+    ``src/repro`` or the file itself, from any working directory —
+    which is also what lets baseline entries use package-relative
+    paths.
+    """
+    posix = path.resolve().as_posix()
+    marker = "/repro/"
+    idx = posix.rfind(marker)
+    if idx >= 0:
+        return "repro/" + posix[idx + len(marker):]
+    return path.as_posix()
+
+
+def collect_files(paths) -> list[Path]:
+    """Expand files/directories into a deterministically ordered file list."""
+    seen: dict[str, Path] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            seen.setdefault(display_path(candidate), candidate)
+    return [seen[key] for key in sorted(seen)]
+
+
+def _base_taxonomy() -> set[str]:
+    """Names of ``ReproError`` and every subclass importable right now."""
+    import repro.errors as errors_module
+
+    names: set[str] = set()
+
+    def add(cls: type) -> None:
+        names.add(cls.__name__)
+        for sub in cls.__subclasses__():
+            add(sub)
+
+    add(errors_module.ReproError)
+    return names
+
+
+def _extend_taxonomy(trees: dict[str, ast.Module], base: set[str]) -> frozenset[str]:
+    """Close the taxonomy over class definitions in the linted files.
+
+    A fixture (or a future module) defining ``class FooError(QueryError)``
+    makes ``FooError`` a legitimate raise target, transitively.
+    """
+    names = set(base)
+    class_bases: list[tuple[str, set[str]]] = []
+    for tree in trees.values():
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                basenames: set[str] = set()
+                for base_node in node.bases:
+                    if isinstance(base_node, ast.Name):
+                        basenames.add(base_node.id)
+                    elif isinstance(base_node, ast.Attribute):
+                        basenames.add(base_node.attr)
+                class_bases.append((node.name, basenames))
+    changed = True
+    while changed:
+        changed = False
+        for name, basenames in class_bases:
+            if name not in names and basenames & names:
+                names.add(name)
+                changed = True
+    return frozenset(names)
+
+
+@dataclass
+class Report:
+    """Outcome of one lint run.
+
+    Attributes:
+        findings: Unsuppressed findings, deterministically sorted.
+        suppressed: ``(baseline entry, match count)`` for entries that
+            matched at least one finding, in entry order.
+        stale: Baseline entries that matched nothing (the allowlist must
+            only shrink; strict mode fails on these).
+        files: Number of files checked.
+        rules: The rules that ran.
+    """
+
+    findings: list[Finding]
+    suppressed: list[tuple[BaselineEntry, int]]
+    stale: list[BaselineEntry]
+    files: int
+    rules: tuple[Rule, ...] = field(default_factory=tuple)
+
+    @property
+    def suppressed_total(self) -> int:
+        return sum(count for _, count in self.suppressed)
+
+    def exit_code(self, strict: bool = False) -> int:
+        """0 when clean; 1 on any finding (or, strictly, stale entries)."""
+        if self.findings:
+            return 1
+        if strict and self.stale:
+            return 1
+        return 0
+
+    def render(self, strict: bool = False) -> str:
+        """The full deterministic report text."""
+        lines = [
+            "repro.lint report",
+            f"files checked: {self.files}",
+            "rules: " + " ".join(rule.rule_id for rule in self.rules),
+            "",
+        ]
+        if self.findings:
+            lines.append(f"findings ({len(self.findings)}):")
+            lines.extend(f"  {finding.render()}" for finding in self.findings)
+        else:
+            lines.append("findings (0): none")
+        lines.append("")
+        lines.append(
+            f"baselined ({self.suppressed_total} finding(s) under "
+            f"{len(self.suppressed)} entrie(s)):"
+        )
+        for entry, count in self.suppressed:
+            lines.append(f"  {entry.path} {entry.rule_id} x{count} — {entry.reason}")
+        if self.stale:
+            lines.append("")
+            lines.append(f"stale baseline entries ({len(self.stale)}):")
+            lines.extend(
+                f"  {entry.path} {entry.rule_id} — {entry.reason}" for entry in self.stale
+            )
+        lines.append("")
+        lines.append("result: " + ("FAIL" if self.exit_code(strict) else "PASS"))
+        return "\n".join(lines)
+
+
+def _lint_parsed(
+    sources: dict[str, str],
+    trees: dict[str, ast.Module],
+    parse_failures: list[Finding],
+    baseline: Baseline,
+    rules: tuple[Rule, ...],
+) -> Report:
+    taxonomy = _extend_taxonomy(trees, _base_taxonomy())
+    raw_findings = list(parse_failures)
+    for path in sorted(trees):
+        ctx = FileContext(path, sources[path], trees[path], taxonomy)
+        for rule in rules:
+            raw_findings.extend(rule.check(ctx))
+
+    kept: list[Finding] = []
+    counts: dict[BaselineEntry, int] = {}
+    for finding in sorted(raw_findings, key=Finding.sort_key):
+        entry = baseline.match(finding)
+        if entry is None:
+            kept.append(finding)
+        else:
+            counts[entry] = counts.get(entry, 0) + 1
+    suppressed = [(entry, counts[entry]) for entry in baseline.entries if entry in counts]
+    stale = [entry for entry in baseline.entries if entry not in counts]
+    return Report(
+        findings=kept,
+        suppressed=suppressed,
+        stale=stale,
+        files=len(trees) + len({f.path for f in parse_failures}),
+        rules=rules,
+    )
+
+
+def lint_sources(sources: dict[str, str], baseline: Baseline | None = None) -> Report:
+    """Lint in-memory sources keyed by display path (fixture-test entry).
+
+    Defaults to :data:`EMPTY_BASELINE` so fixtures see every finding.
+    """
+    baseline = EMPTY_BASELINE if baseline is None else baseline
+    trees: dict[str, ast.Module] = {}
+    parse_failures: list[Finding] = []
+    for path in sorted(sources):
+        try:
+            trees[path] = ast.parse(sources[path])
+        except SyntaxError as exc:
+            parse_failures.append(
+                Finding(path, exc.lineno or 0, 0, PARSE_RULE_ID, f"syntax error: {exc.msg}")
+            )
+    return _lint_parsed(sources, trees, parse_failures, baseline, all_rules())
+
+
+def lint_paths(paths, baseline: Baseline | None = None) -> Report:
+    """Lint files and/or directory trees on disk (CLI and tier-1 entry).
+
+    Defaults to :data:`DEFAULT_BASELINE` — the repo's shipped allowlist.
+    """
+    baseline = DEFAULT_BASELINE if baseline is None else baseline
+    sources: dict[str, str] = {}
+    for path in collect_files(paths):
+        sources[display_path(path)] = path.read_text(encoding="utf-8")
+    trees: dict[str, ast.Module] = {}
+    parse_failures: list[Finding] = []
+    for dpath in sorted(sources):
+        try:
+            trees[dpath] = ast.parse(sources[dpath])
+        except SyntaxError as exc:
+            parse_failures.append(
+                Finding(dpath, exc.lineno or 0, 0, PARSE_RULE_ID, f"syntax error: {exc.msg}")
+            )
+    return _lint_parsed(sources, trees, parse_failures, baseline, all_rules())

@@ -1,0 +1,44 @@
+"""A :class:`Finding` is one rule violation at one source location.
+
+Findings order and render deterministically — (path, line, col, rule id,
+message) — so a lint report is byte-identical across runs over the same
+tree, which is itself a tier-1 test contract (the checker enforces the
+repo's determinism discipline and must live by it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Pseudo rule id for files that fail to parse at all. Not a registered
+#: rule (there is nothing to visit), but reported through the same
+#: finding channel so a syntax error still fails the lint run.
+PARSE_RULE_ID = "REPRO000"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violation: where it is, which rule, and what to do about it.
+
+    Attributes:
+        path: Display path of the offending file (``repro/...`` for
+            anything under the package tree).
+        line: 1-based source line.
+        col: 0-based column offset (ast convention).
+        rule_id: Stable rule identifier (``REPRO001`` ...).
+        message: Human-facing description with the suggested fix.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def sort_key(self):
+        """Total deterministic order: location first, then rule, then text."""
+        return (self.path, self.line, self.col, self.rule_id, self.message)
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` — the report line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"

@@ -1,0 +1,20 @@
+"""The shipped rules; importing this package registers all of them.
+
+One module per rule, named after the invariant it encodes:
+
+* :mod:`~repro.lint.rules.determinism`  — REPRO001
+* :mod:`~repro.lint.rules.taxonomy`     — REPRO002
+* :mod:`~repro.lint.rules.accounting`   — REPRO003
+* :mod:`~repro.lint.rules.metrics`      — REPRO004
+* :mod:`~repro.lint.rules.defaults`     — REPRO005
+* :mod:`~repro.lint.rules.seeds`        — REPRO006
+"""
+
+from repro.lint.rules import (  # noqa: F401
+    accounting,
+    defaults,
+    determinism,
+    metrics,
+    seeds,
+    taxonomy,
+)

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.zipper import Gate
-from repro.errors import ConfigError
+from repro.errors import ConfigError, InvariantError, ReproError
 
 
 class TestGateBasics:
@@ -77,3 +77,35 @@ def test_lemma_3_1_invariant_and_threshold(k, bound, objects):
         gate.check_invariant()
     kth = np.sort(counts)[::-1][k - 1] if counts.size >= k else 0
     assert gate.audit_threshold - 1 == kth
+
+
+class TestInvariantError:
+    """check_invariant raises InvariantError (not assert) on corruption.
+
+    Regression for the two former ``assert`` statements, which were
+    stripped under ``python -O`` and uncatchable as ReproError.
+    """
+
+    def test_healthy_gate_passes(self):
+        gate = Gate(k=2, count_bound=5)
+        gate.offer(1)
+        gate.check_invariant()
+
+    def test_za_at_corruption_raises_invariant_error(self):
+        gate = Gate(k=2, count_bound=5)
+        gate._za[gate.audit_threshold] = gate.k  # simulate ZA[AT] >= k
+        with pytest.raises(InvariantError, match=r"ZA\[AT\] must stay below k"):
+            gate.check_invariant()
+
+    def test_za_below_at_corruption_raises_invariant_error(self):
+        gate = Gate(k=1, count_bound=5)
+        assert gate.offer(1)  # AT -> 2
+        gate._za[gate.audit_threshold - 1] = 0  # simulate ZA[AT-1] < k
+        with pytest.raises(InvariantError, match=r"ZA\[AT-1\] must have reached k"):
+            gate.check_invariant()
+
+    def test_invariant_error_is_a_repro_error(self):
+        gate = Gate(k=2, count_bound=5)
+        gate._za[gate.audit_threshold] = gate.k
+        with pytest.raises(ReproError):
+            gate.check_invariant()

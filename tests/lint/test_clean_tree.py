@@ -1,0 +1,86 @@
+"""Tier-1 gate: src/ lints clean, and the report is byte-deterministic.
+
+These are the tests that make the checker *enforcing*: seeding a
+violation anywhere under ``src/repro`` (or letting a baseline entry go
+stale) fails the suite, and two CLI runs must emit identical bytes.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint import DEFAULT_BASELINE, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+BAD_SNIPPET = "import time\n\n\ndef elapsed():\n    return time.time()\n"
+
+
+def _cli(*args, cwd=REPO_ROOT):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+    )
+
+
+class TestCleanTree:
+    def test_src_is_clean_under_shipped_baseline(self):
+        report = lint_paths([SRC])
+        assert report.findings == [], "\n" + report.render()
+
+    def test_no_stale_baseline_entries(self):
+        # Strict mode is the allowlist ratchet: every shipped entry must
+        # still suppress at least one real finding.
+        report = lint_paths([SRC])
+        assert report.stale == []
+        assert report.exit_code(strict=True) == 0
+
+    def test_every_baseline_entry_carries_a_reason(self):
+        for entry in DEFAULT_BASELINE.entries:
+            assert entry.reason.strip(), entry
+
+
+class TestSeededViolation:
+    def test_seeded_violation_fails_the_lint_gate(self, tmp_path):
+        scratch = tmp_path / "scratch.py"
+        scratch.write_text(BAD_SNIPPET, encoding="utf-8")
+        report = lint_paths([SRC, scratch])
+        assert report.exit_code() == 1
+        assert any(
+            f.rule_id == "REPRO001" and f.path.endswith("scratch.py") for f in report.findings
+        )
+
+    def test_cli_exits_nonzero_on_violation(self, tmp_path):
+        scratch = tmp_path / "scratch.py"
+        scratch.write_text(BAD_SNIPPET, encoding="utf-8")
+        proc = _cli(str(scratch))
+        assert proc.returncode == 1
+        assert b"REPRO001" in proc.stdout
+
+
+class TestCli:
+    def test_strict_run_passes_and_is_byte_identical(self):
+        first = _cli("--strict")
+        second = _cli("--strict")
+        assert first.returncode == 0, first.stdout.decode()
+        assert second.returncode == 0
+        assert first.stdout == second.stdout
+        assert first.stdout.rstrip().endswith(b"result: PASS")
+
+    def test_output_file_matches_stdout(self, tmp_path):
+        out = tmp_path / "lint-report.txt"
+        proc = _cli("--strict", "--output", str(out))
+        assert proc.returncode == 0
+        assert out.read_bytes() == proc.stdout.rstrip(b"\n") + b"\n"
+
+    def test_list_rules(self):
+        proc = _cli("--list-rules")
+        assert proc.returncode == 0
+        for i in range(1, 7):
+            assert f"REPRO00{i}".encode() in proc.stdout

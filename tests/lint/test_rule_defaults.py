@@ -1,0 +1,64 @@
+"""REPRO005 fixtures: mutable default arguments."""
+
+
+class TestMutableDefaults:
+    def test_list_literal_default_flagged(self, findings_for):
+        findings = findings_for(
+            """
+            def collect(item, bucket=[]):
+                bucket.append(item)
+                return bucket
+            """
+        )
+        assert [f.rule_id for f in findings] == ["REPRO005"]
+        assert "bucket" in findings[0].message
+
+    def test_dict_literal_default_flagged(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            def tag(name, labels={}):
+                return dict(labels, name=name)
+            """
+        ) == ["REPRO005"]
+
+    def test_constructor_default_flagged(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            def seen(key, cache=dict()):
+                return key in cache
+            """
+        ) == ["REPRO005"]
+
+    def test_kwonly_set_default_flagged(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            def dedupe(items, *, drop=set()):
+                return [x for x in items if x not in drop]
+            """
+        ) == ["REPRO005"]
+
+    def test_lambda_default_flagged(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            merge = lambda extra=[]: extra + [1]
+            """
+        ) == ["REPRO005"]
+
+    def test_none_sentinel_is_fine(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            def collect(item, bucket=None):
+                if bucket is None:
+                    bucket = []
+                bucket.append(item)
+                return bucket
+            """
+        ) == []
+
+    def test_immutable_defaults_are_fine(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            def shape(dims=(), name="x", scale=1.0, flags=frozenset()):
+                return dims, name, scale, flags
+            """
+        ) == []

@@ -1,0 +1,130 @@
+"""REPRO001 fixtures: wall clocks and global/unseeded RNG are flagged."""
+
+
+class TestWallClock:
+    def test_time_time_flagged(self, findings_for):
+        findings = findings_for(
+            """
+            import time
+
+            def elapsed():
+                return time.time()
+            """
+        )
+        assert [f.rule_id for f in findings] == ["REPRO001"]
+        assert findings[0].line == 5
+        assert "time.time" in findings[0].message
+
+    def test_from_import_alias_flagged(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            from time import perf_counter as pc
+
+            def elapsed():
+                return pc()
+            """
+        ) == ["REPRO001"]
+
+    def test_datetime_now_flagged(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+            """
+        ) == ["REPRO001"]
+
+    def test_time_sleep_flagged(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            import time
+
+            def wait():
+                time.sleep(1.0)
+            """
+        ) == ["REPRO001"]
+
+    def test_virtual_clock_method_is_fine(self, rule_ids_for):
+        # Attribute access on local objects never resolves to a module
+        # path; the serve layer's clock.now() stays clean.
+        assert rule_ids_for(
+            """
+            def now(clock):
+                return clock.now() + clock.time()
+            """
+        ) == []
+
+
+class TestRandomness:
+    def test_stdlib_random_flagged(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            import random
+
+            def pick(items):
+                return random.choice(items)
+            """
+        ) == ["REPRO001"]
+
+    def test_numpy_module_level_rng_flagged(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            import numpy as np
+
+            def noise(n):
+                np.random.seed(0)
+                return np.random.rand(n)
+            """
+        ) == ["REPRO001", "REPRO001"]
+
+    def test_unseeded_default_rng_flagged(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            import numpy as np
+
+            def noise(n):
+                return np.random.default_rng().normal(size=n)
+            """
+        ) == ["REPRO001"]
+
+    def test_unseeded_from_import_default_rng_flagged(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            from numpy.random import default_rng
+
+            def noise(n):
+                return default_rng().normal(size=n)
+            """
+        ) == ["REPRO001"]
+
+    def test_seeded_default_rng_is_fine(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            import numpy as np
+
+            def noise(n, seed):
+                rng = np.random.default_rng(seed)
+                return rng.normal(size=n)
+            """
+        ) == []
+
+    def test_explicit_bit_generator_is_fine(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            import numpy as np
+
+            def stream(seed):
+                return np.random.Generator(np.random.PCG64(seed))
+            """
+        ) == []
+
+    def test_generator_annotation_is_fine(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            import numpy as np
+
+            def draw(rng: np.random.Generator) -> float:
+                return float(rng.integers(10))
+            """
+        ) == []

@@ -1,0 +1,63 @@
+"""REPRO004 fixtures: metric registration discipline."""
+
+
+class TestDuplicateRegistration:
+    def test_same_name_same_scope_flagged(self, findings_for):
+        findings = findings_for(
+            """
+            def wire(registry):
+                hits = registry.counter("cache_hits")
+                also = registry.counter("cache_hits")
+                return hits, also
+            """
+        )
+        assert [f.rule_id for f in findings] == ["REPRO004"]
+        assert "cache_hits" in findings[0].message
+
+    def test_distinct_names_are_fine(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            def wire(registry):
+                return (
+                    registry.counter("cache_hits"),
+                    registry.counter("cache_misses"),
+                    registry.gauge("queue_depth"),
+                    registry.histogram("batch_latency"),
+                )
+            """
+        ) == []
+
+    def test_same_name_in_different_scopes_is_fine(self, rule_ids_for):
+        # Two components may each own a counter of the same name; only a
+        # double registration inside one scope is a bug.
+        assert rule_ids_for(
+            """
+            def wire_a(registry):
+                return registry.counter("requests")
+
+            def wire_b(registry):
+                return registry.counter("requests")
+            """
+        ) == []
+
+
+class TestPrivateStateAccess:
+    def test_metrics_dict_poke_flagged(self, findings_for):
+        findings = findings_for(
+            """
+            def reset(registry):
+                registry._metrics.clear()
+            """
+        )
+        assert [f.rule_id for f in findings] == ["REPRO004"]
+        assert "_metrics" in findings[0].message
+
+    def test_registry_module_itself_is_exempt(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            class MetricsRegistry:
+                def snapshot(self):
+                    return dict(self._metrics)
+            """,
+            path="repro/obs/registry.py",
+        ) == []

@@ -1,0 +1,100 @@
+"""REPRO006 fixtures: seed parameters must be threaded, never re-derived."""
+
+
+class TestUnusedSeed:
+    def test_public_unused_seed_flagged(self, findings_for):
+        findings = findings_for(
+            """
+            def sample(n, seed=0):
+                return list(range(n))
+            """
+        )
+        assert [f.rule_id for f in findings] == ["REPRO006"]
+        assert "seed" in findings[0].message
+
+    def test_unused_suffixed_seed_flagged(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            def shuffle(items, query_seed=7):
+                return sorted(items)
+            """
+        ) == ["REPRO006"]
+
+    def test_threaded_seed_is_fine(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            import numpy as np
+
+            def sample(n, seed=0):
+                rng = np.random.default_rng(seed)
+                return rng.integers(0, 10, size=n)
+            """
+        ) == []
+
+    def test_stored_seed_is_fine(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            class Runner:
+                def __init__(self, seed):
+                    self.seed = seed
+            """
+        ) == []
+
+    def test_private_helper_is_exempt(self, rule_ids_for):
+        # Underscore helpers may accept-and-ignore during refactors; the
+        # rule polices the public surface.
+        assert rule_ids_for(
+            """
+            def _shim(seed):
+                return 0
+            """
+        ) == []
+
+    def test_protocol_stub_is_exempt(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            class Source:
+                def draw(self, n, seed):
+                    raise NotImplementedError
+            """
+        ) == []
+
+
+class TestRederivedSeed:
+    def test_constant_rng_inside_seeded_fn_flagged(self, findings_for):
+        findings = findings_for(
+            """
+            import numpy as np
+
+            def sample(n, seed):
+                rng = np.random.default_rng(0)
+                return rng.integers(0, 10, size=n) + seed
+            """
+        )
+        assert [f.rule_id for f in findings] == ["REPRO006"]
+        assert "default_rng" in findings[0].message
+
+    def test_derived_substream_is_fine(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            import numpy as np
+
+            def sample(n, seed):
+                rng = np.random.default_rng([seed, 3])
+                return rng.integers(0, 10, size=n)
+            """
+        ) == []
+
+    def test_nested_fn_with_own_seed_is_fine(self, rule_ids_for):
+        # The inner def owns its own seed parameter; the outer signature
+        # must not be charged for the inner call.
+        assert rule_ids_for(
+            """
+            import numpy as np
+
+            def outer(seed):
+                def inner(sub_seed):
+                    return np.random.default_rng(sub_seed)
+                return inner(seed)
+            """
+        ) == []

@@ -1,0 +1,136 @@
+"""REPRO002 fixtures: builtin raises, swallowed excepts, runtime asserts."""
+
+
+class TestRaises:
+    def test_builtin_raise_flagged(self, findings_for):
+        findings = findings_for(
+            """
+            def check(n):
+                if n < 0:
+                    raise ValueError("negative")
+            """
+        )
+        assert [f.rule_id for f in findings] == ["REPRO002"]
+        assert "ValueError" in findings[0].message
+
+    def test_taxonomy_raise_is_fine(self, rule_ids_for):
+        # ConfigError is a ReproError subclass discovered at runtime; the
+        # rule accepts it without needing to see the import.
+        assert rule_ids_for(
+            """
+            from repro.errors import ConfigError
+
+            def check(n):
+                if n < 0:
+                    raise ConfigError("negative")
+            """
+        ) == []
+
+    def test_local_subclass_raise_is_fine(self, rule_ids_for):
+        # Subclasses defined in the linted file itself join the taxonomy
+        # via the AST closure pass.
+        assert rule_ids_for(
+            """
+            from repro.errors import QueryError
+
+            class FixtureError(QueryError):
+                pass
+
+            def check(n):
+                if n < 0:
+                    raise FixtureError("negative")
+            """
+        ) == []
+
+    def test_not_implemented_error_is_fine(self, rule_ids_for):
+        # The abstract-method convention stays legal.
+        assert rule_ids_for(
+            """
+            class Base:
+                def check(self, ctx):
+                    raise NotImplementedError
+            """
+        ) == []
+
+    def test_bare_reraise_is_fine(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            def fwd(fn):
+                try:
+                    return fn()
+                except ValueError:
+                    raise
+            """
+        ) == []
+
+
+class TestExceptHandlers:
+    def test_swallowing_bare_except_flagged(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            def safe(fn):
+                try:
+                    return fn()
+                except:
+                    return None
+            """
+        ) == ["REPRO002"]
+
+    def test_swallowing_broad_except_flagged(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            def safe(fn):
+                try:
+                    return fn()
+                except Exception:
+                    return None
+            """
+        ) == ["REPRO002"]
+
+    def test_narrow_except_is_fine(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            def safe(mapping, key):
+                try:
+                    return mapping[key]
+                except KeyError:
+                    return None
+            """
+        ) == []
+
+    def test_broad_except_that_reraises_is_fine(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            from repro.errors import QueryError
+
+            def wrap(fn):
+                try:
+                    return fn()
+                except Exception as exc:
+                    raise QueryError("wrapped") from exc
+            """
+        ) == []
+
+
+class TestAsserts:
+    def test_runtime_assert_flagged(self, findings_for):
+        findings = findings_for(
+            """
+            def check(za, at, k):
+                assert za[at] < k
+            """
+        )
+        assert [f.rule_id for f in findings] == ["REPRO002"]
+        assert "assert" in findings[0].message
+
+    def test_explicit_invariant_is_fine(self, rule_ids_for):
+        # The zipper's old asserts now look like this.
+        assert rule_ids_for(
+            """
+            from repro.errors import InvariantError
+
+            def check(za, at, k):
+                if za[at] >= k:
+                    raise InvariantError("ZA[AT] must stay below k")
+            """
+        ) == []
