@@ -43,13 +43,19 @@ def cost_coefficients() -> dict:
 
 @pytest.fixture
 def emit(results_dir, request):
-    """Emit one or more ResultTables for the current benchmark."""
+    """Emit one or more ResultTables for the current benchmark.
+
+    Stdout gets the live rendering (wall-clock numbers included); the
+    saved ``.txt`` artifact gets the *stable* rendering, with any
+    columns the table marks ``volatile`` masked so the file is
+    byte-identical across runs and machines.
+    """
 
     def _emit(*tables):
         name = request.node.name.replace("test_", "", 1)
-        text = "\n\n".join(t.format() for t in tables)
-        (results_dir / f"{name}.txt").write_text(text + "\n")
+        stable = "\n\n".join(t.format(stable=True) for t in tables)
+        (results_dir / f"{name}.txt").write_text(stable + "\n")
         print()
-        print(text)
+        print("\n\n".join(t.format() for t in tables))
 
     return _emit

@@ -80,6 +80,7 @@ def test_batch_pipeline_speedup(benchmark, emit):
     table = ResultTable(
         title="Micro: batch match pipeline vs per-query scans (wall-clock)",
         columns=["stage", "per_query_ms", "batch_ms", "speedup"],
+        volatile=["per_query_ms", "batch_ms", "speedup"],
         notes=[
             f"fig9 OCR-style workload: m={M}, domain={DOMAIN}, "
             f"n={N_OBJECTS}, {N_QUERIES} queries, k={K}.",

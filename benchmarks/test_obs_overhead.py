@@ -74,6 +74,7 @@ def test_obs_overhead(benchmark, emit):
         title="Tracing overhead: identical seeded traffic, tracer off vs sample rate 1.0",
         columns=["mode", "requests", "traces", "throughput_qps",
                  "p99_latency_s", "overhead_pct", "wall_seconds"],
+        volatile=["wall_seconds"],
         notes=[
             f"open-loop Poisson trace: {N_REQUESTS} document requests at "
             f"{RATE:.0e} req/s offered, seed {SEED}; micro batching 32/1e-4 s.",

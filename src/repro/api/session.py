@@ -162,6 +162,12 @@ class SearchResult:
             merge, finalize — on a timeline starting at 0.0 simulated
             seconds. ``None`` otherwise (untraced searches allocate no
             spans).
+        failovers: :class:`~repro.replica.faults.FailoverEvent` records
+            for every scan attempt this search re-dispatched past a
+            failed device (replicated indexes under an injected
+            :class:`~repro.replica.faults.FaultPlan`); ``()`` otherwise.
+            The retry penalties are already charged on ``profile``'s
+            critical path as the ``failover_retry`` stage.
     """
 
     results: list[TopKResult]
@@ -174,6 +180,7 @@ class SearchResult:
     routing: RoutingSummary | None = None
     predicted_cost: float | None = None
     trace: Span | None = None
+    failovers: tuple = ()
 
     @property
     def ids(self) -> list[np.ndarray]:
@@ -198,15 +205,17 @@ class _IndexPart:
     ``offset`` remaps the part's local object ids back to global ids for
     contiguous partitions (multi-loading parts); sharded handles pass an
     explicit ``global_ids`` gather map instead (hash partitions are not
-    contiguous) and leave ``offset`` at 0.
+    contiguous) and leave ``offset`` at 0. ``replica`` distinguishes the
+    copies of one shard slice a replicated handle places on distinct
+    devices (each copy is its own residency/LRU unit).
     """
 
     __slots__ = ("handle", "position", "engine", "corpus", "index", "offset",
-                 "global_ids", "device_bytes")
+                 "global_ids", "device_bytes", "replica")
 
     def __init__(self, handle: "IndexHandle", position: int, engine: GenieEngine,
                  corpus: Corpus, index: InvertedIndex, offset: int,
-                 global_ids: np.ndarray | None = None):
+                 global_ids: np.ndarray | None = None, replica: int = 0):
         self.handle = handle
         self.position = position
         self.engine = engine
@@ -214,6 +223,7 @@ class _IndexPart:
         self.index = index
         self.offset = offset
         self.global_ids = global_ids
+        self.replica = replica
         # The device-resident List Array holds 32-bit ids (what
         # GenieEngine.attach_index actually transfers and allocates).
         self.device_bytes = 4 * int(index.list_array.size)
@@ -280,6 +290,15 @@ class GenieSession:
         # Serving layers attach a repro.obs.Tracer here; background work
         # (stream compaction) records standalone spans through it.
         self.tracer = None
+        # Fault injection (repro.replica): a FaultInjector attached via
+        # inject_faults(); the plan executor consults it per shard scan.
+        self.faults = None
+        # Rolling per-device busy seconds — the least-loaded replica
+        # selection signal. Created lazily on the first recorded scan.
+        self._device_load = None
+        # Searches register a sink here to collect the failover events
+        # their own shard scans emitted (mirrors _event_sinks).
+        self._failover_sinks: list[list] = []
 
     # ------------------------------------------------------------------
     # cost model
@@ -334,6 +353,66 @@ class GenieSession:
             self._device_pool.append(Device(spec=self.device.spec, costs=self.device.costs))
         return self._device_pool[: int(n)]
 
+    def device_position(self, device: Device) -> int:
+        """Pool position of ``device`` (identity match), or ``-1``.
+
+        Fault plans and the load tracker address devices by pool
+        position; ``-1`` (a device outside the pool) is always healthy
+        and unloaded.
+        """
+        for position, pooled in enumerate(self._device_pool):
+            if pooled is device:
+                return position
+        return -1
+
+    @property
+    def device_load(self):
+        """Rolling per-device busy seconds (lazily created tracker)."""
+        if self._device_load is None:
+            from repro.replica.load import DeviceLoadTracker
+
+            self._device_load = DeviceLoadTracker()
+        return self._device_load
+
+    def _note_device_busy(self, device: Device, seconds: float) -> None:
+        """Record one scan's simulated seconds against its pool device."""
+        self.device_load.record(self.device_position(device), seconds)
+
+    # ------------------------------------------------------------------
+    # fault injection
+
+    def inject_faults(self, plan, clock=None, **injector_opts):
+        """Attach a deterministic fault schedule to this session.
+
+        ``plan`` is a :class:`~repro.replica.faults.FaultPlan` (or a
+        plain iterable of :class:`~repro.replica.faults.FaultEvent`).
+        Shard scans consult the resulting
+        :class:`~repro.replica.faults.FaultInjector` before dispatch and
+        fail over to surviving replicas; the injector's clock is wired
+        automatically when a :class:`~repro.serve.server.GenieServer`
+        is constructed over this session, or can be passed here.
+
+        Returns the attached injector; ``inject_faults(None)`` detaches.
+        """
+        if plan is None:
+            self.faults = None
+            return None
+        from repro.replica.faults import FaultInjector, FaultPlan
+
+        if not isinstance(plan, FaultPlan):
+            plan = FaultPlan(plan)
+        self.faults = FaultInjector(plan, clock=clock, **injector_opts)
+        return self.faults
+
+    def _record_failover(self, event) -> None:
+        """Deliver one failover event to every registered search sink."""
+        logger.debug(
+            "failover index=%s shard=%d device=%d attempt=%d permanent=%s",
+            event.index, event.shard, event.device, event.attempt, event.permanent,
+        )
+        for sink in self._failover_sinks:
+            sink.append(event)
+
     # ------------------------------------------------------------------
     # index lifecycle
 
@@ -348,6 +427,7 @@ class GenieSession:
         shards: int | None = None,
         shard_strategy: str = "range",
         shard_seed: int = 0,
+        replicas: int | None = None,
         stream_config=None,
         **model_kwargs,
     ) -> "IndexHandle":
@@ -375,6 +455,11 @@ class GenieSession:
                 (sharding multiplexes space, multi-loading time).
             shard_strategy: ``"range"`` or ``"hash"`` partitioning.
             shard_seed: Hash-partition seed.
+            replicas: Place this many copies of every shard slice on
+                distinct pool devices (requires ``shards=``); returns a
+                :class:`~repro.replica.handle.ReplicatedIndexHandle`.
+                Shard scans pick the least-loaded live replica and fail
+                over past faulted devices (see :mod:`repro.replica`).
             stream_config: :class:`~repro.stream.StreamConfig` governing
                 online ``insert``/``delete``/``update`` on the handle
                 (segment seal size, compaction thresholds); defaults
@@ -387,7 +472,8 @@ class GenieSession:
         handle = self.declare_index(
             model, name=name, config=config, part_size=part_size,
             swap_parts=swap_parts, shards=shards, shard_strategy=shard_strategy,
-            shard_seed=shard_seed, stream_config=stream_config, **model_kwargs,
+            shard_seed=shard_seed, replicas=replicas,
+            stream_config=stream_config, **model_kwargs,
         )
         return handle.fit(data)
 
@@ -401,6 +487,7 @@ class GenieSession:
         shards: int | None = None,
         shard_strategy: str = "range",
         shard_seed: int = 0,
+        replicas: int | None = None,
         stream_config=None,
         **model_kwargs,
     ) -> "IndexHandle":
@@ -423,17 +510,28 @@ class GenieSession:
                     "shards= is mutually exclusive with part_size=/swap_parts=; "
                     "sharding partitions across devices, multi-loading through one"
                 )
-            from repro.cluster.executor import ShardedIndexHandle
+            if replicas is not None:
+                from repro.replica.handle import ReplicatedIndexHandle
 
-            handle: IndexHandle = ShardedIndexHandle(
-                self, name, model, resolved_config,
-                shards=shards, strategy=shard_strategy, seed=shard_seed,
-            )
+                handle: IndexHandle = ReplicatedIndexHandle(
+                    self, name, model, resolved_config,
+                    shards=shards, replicas=replicas,
+                    strategy=shard_strategy, seed=shard_seed,
+                )
+            else:
+                from repro.cluster.executor import ShardedIndexHandle
+
+                handle = ShardedIndexHandle(
+                    self, name, model, resolved_config,
+                    shards=shards, strategy=shard_strategy, seed=shard_seed,
+                )
         else:
             if shard_strategy != "range" or shard_seed != 0:
                 raise ConfigError(
                     "shard_strategy=/shard_seed= require shards=N"
                 )
+            if replicas is not None:
+                raise ConfigError("replicas= requires shards=N")
             handle = IndexHandle(
                 self, name, model, resolved_config,
                 part_size=part_size, swap_parts=swap_parts,
@@ -561,7 +659,10 @@ class GenieSession:
             )
         while self._resident and self.resident_bytes + part.device_bytes > self.memory_budget:
             self._evict_lru()
-        while True:
+        # Bounded retry (REPRO007): every failed attempt evicts one
+        # distinct same-device victim, so residents + 1 attempts suffice
+        # by pigeonhole — either the attach fits or no victim remains.
+        for _attempt in range(len(self._resident) + 1):
             try:
                 part.engine.attach_index(part.index, part.corpus)
                 break
@@ -1052,9 +1153,12 @@ class IndexHandle:
             )
 
         # A private sink observes this search's residency events exactly;
-        # the session-level log is bounded and may drop older entries.
+        # the session-level log is bounded and may drop older entries. A
+        # second sink collects the failover events the scans emit.
         events: list[ResidencyEvent] = []
+        failovers: list = []
         self.session._event_sinks.append(events)
+        self.session._failover_sinks.append(failovers)
         profile = StageTimings()
         shard_profiles: list[StageTimings] | None = None
         try:
@@ -1066,6 +1170,21 @@ class IndexHandle:
                 merged = []
         finally:
             self.session._event_sinks.remove(events)
+            self.session._failover_sinks.remove(failovers)
+
+        if span is not None:
+            for ev in failovers:
+                # Failovers happen before their shard's surviving scan;
+                # the span records which device was skipped and what the
+                # detection retry cost on the critical path.
+                span.child(
+                    "failover",
+                    duration=ev.penalty,
+                    shard=ev.shard,
+                    device=ev.device,
+                    attempt=ev.attempt,
+                    permanent=ev.permanent,
+                )
         results = self._scatter(merged, compiled.active, len(queries))
 
         payload = None
@@ -1103,6 +1222,7 @@ class IndexHandle:
             routing=compiled.routing,
             predicted_cost=compiled.predicted_cost,
             trace=span,
+            failovers=tuple(failovers),
         )
         self.last_result = result
         return result
@@ -1110,6 +1230,16 @@ class IndexHandle:
     def _plan_shards(self) -> ShardContext | None:
         """Shard context for the planner; serial handles have none."""
         return None
+
+    def _scan_candidates(self, part: "_IndexPart") -> tuple:
+        """Replica candidates for scanning ``part``'s slice, in try order.
+
+        The plan executor dispatches each shard scan to the first live
+        candidate. Plain handles have exactly one copy of every slice;
+        :class:`~repro.replica.handle.ReplicatedIndexHandle` overrides
+        this to return the whole replica group, least-loaded first.
+        """
+        return (part,)
 
     @staticmethod
     def _query_engine(

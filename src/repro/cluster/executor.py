@@ -43,6 +43,7 @@ import numpy as np
 
 from repro.api.session import IndexHandle, _IndexPart
 from repro.cluster.plan import ShardPlan, check_partition_args
+from repro.replica.rebalance import balanced_range_bounds
 from repro.plan.cost import postings_per_keyword
 from repro.plan.planner import ShardContext
 from repro.core.engine import GenieConfig, GenieEngine
@@ -269,6 +270,7 @@ class ShardedIndexHandle(IndexHandle):
         self.shard_strategy = strategy
         self.shard_seed = int(seed)
         self.plan: ShardPlan | None = None
+        self.rebalance_epoch = 0
         self._last_shard_profiles: tuple[StageTimings, ...] = ()
 
     # ------------------------------------------------------------------
@@ -307,18 +309,42 @@ class ShardedIndexHandle(IndexHandle):
     # ------------------------------------------------------------------
     # lifecycle
 
-    def fit(self, data) -> "ShardedIndexHandle":
-        """Encode ``data``, partition it, build one index per shard.
+    def _pool_size(self) -> int:
+        """Devices the session's shard pool must hold for this index."""
+        return self.n_shards
 
-        Every shard index is built on the host and attached to its own
-        pool device immediately (each paying ``index_transfer`` on its own
-        link); the session may LRU-evict shards later under budget
-        pressure, and search swaps them back in per shard.
+    def _place_parts(self, built, devices) -> list[_IndexPart]:
+        """Create the parts for freshly built shard indexes.
+
+        One part per shard on its own pool device; the replicated
+        subclass overrides this to place R copies per shard. Returns
+        every part that should be attached.
         """
-        corpus = self._prepare_fit(data)
-        self.plan = ShardPlan.build(corpus, self.n_shards, self.shard_strategy, self.shard_seed)
-        devices = self.session.shard_devices(self.n_shards)
-        for shard in self.plan.shards:
+        self._parts = [
+            _IndexPart(
+                self, shard.position,
+                self._part_engine(shard.position, devices[shard.position]),
+                shard.corpus, index, offset=0, global_ids=shard.global_ids,
+            )
+            for shard, index in built
+        ]
+        return list(self._parts)
+
+    def _install_plan(self, plan: ShardPlan) -> None:
+        """Build every shard's index and swap the new parts in.
+
+        Shared tail of :meth:`fit`, stream compaction
+        (:meth:`_rebuild_base`) and :meth:`rebalance`: every shard index
+        is built on the host (charging ``index_build``), the old parts
+        are evicted, and the new ones attach to their own pool devices
+        (each paying ``index_transfer`` on its own link) under the
+        session's residency budget. No epoch bump or invalidation here —
+        results are unchanged by construction; callers handle plan
+        staleness themselves.
+        """
+        devices = self.session.shard_devices(self._pool_size())
+        built = []
+        for shard in plan.shards:
             index = InvertedIndex.build(shard.corpus, load_balance=self.config.load_balance)
             self.session.host.charge_ops(index.build_ops, stage="index_build")
             # The built index materializes the shard's sorted distinct
@@ -328,51 +354,99 @@ class ShardedIndexHandle(IndexHandle):
             # features) come from the same CSR arrays.
             shard._keywords = index.keyword_array
             shard._posting_counts = postings_per_keyword(index)
-            self._parts.append(
-                _IndexPart(
-                    self, shard.position,
-                    self._part_engine(shard.position, devices[shard.position]),
-                    shard.corpus, index, offset=0, global_ids=shard.global_ids,
-                )
-            )
-        for part in self._parts:
+            built.append((shard, index))
+        self.evict()
+        self.plan = plan
+        for part in self._place_parts(built, devices):
             self.session._ensure_resident(part)
+
+    def fit(self, data) -> "ShardedIndexHandle":
+        """Encode ``data``, partition it, build one index per shard.
+
+        Every shard index is built on the host and attached to its own
+        pool device immediately; the session may LRU-evict shards later
+        under budget pressure, and search swaps them back in per shard.
+        """
+        corpus = self._prepare_fit(data)
+        self._install_plan(
+            ShardPlan.build(corpus, self.n_shards, self.shard_strategy, self.shard_seed)
+        )
         return self
 
     def _rebuild_base(self, corpus: Corpus) -> None:
         """Repartition ``corpus`` into fresh shard indexes (compaction).
 
         Sharded twin of :meth:`IndexHandle._rebuild_base`: same partition
-        strategy and seed, every shard rebuilt host-side (charging
-        ``index_build``), then swapped in under the residency budget. No
-        epoch bump or invalidation — results are unchanged by
-        construction; the stream state invalidates the plan cache itself
-        (the shard keyword tables did change).
+        strategy and seed. No epoch bump or invalidation — results are
+        unchanged by construction; the stream state invalidates the plan
+        cache itself (the shard keyword tables did change).
         """
-        plan = ShardPlan.build(corpus, self.n_shards, self.shard_strategy, self.shard_seed)
-        devices = self.session.shard_devices(self.n_shards)
-        built = []
-        for shard in plan.shards:
-            index = InvertedIndex.build(shard.corpus, load_balance=self.config.load_balance)
-            self.session.host.charge_ops(index.build_ops, stage="index_build")
-            shard._keywords = index.keyword_array
-            shard._posting_counts = postings_per_keyword(index)
-            built.append((shard, index))
-        self.evict()
-        self.plan = plan
-        self._parts = [
-            _IndexPart(
-                self, shard.position,
-                self._part_engine(shard.position, devices[shard.position]),
-                shard.corpus, index, offset=0, global_ids=shard.global_ids,
-            )
-            for shard, index in built
-        ]
-        for part in self._parts:
-            self.session._ensure_resident(part)
+        self._install_plan(
+            ShardPlan.build(corpus, self.n_shards, self.shard_strategy, self.shard_seed)
+        )
+
+    # ------------------------------------------------------------------
+    # self-healing
+
+    def rebalance(self, shard_weights) -> bool:
+        """Recut a fitted range partition so observed load evens out.
+
+        ``shard_weights`` is one non-negative load figure per shard
+        (typically the serve layer's rolling per-shard busy seconds).
+        Each shard's weight is spread over its objects as a density, and
+        new contiguous range bounds are cut so every shard carries a near
+        equal share of the observed load — the hot shard shrinks, its
+        neighbours absorb the edges. The plan stays a range partition, so
+        keyword-bounds routing (and shard pruning) keeps working.
+
+        Invalidation is scoped: the *plan* cache entries for this index
+        are dropped (the routing table changed) and ``rebalance_epoch``
+        joins the plan-cache key, but serve-layer *result* caches are
+        untouched — a rebalance moves objects between devices without
+        changing any answer, which the equivalence tests pin.
+
+        Returns ``True`` if the partition changed. No-ops (``False``)
+        for hash partitions, unfitted or streaming handles, degenerate
+        weights, and cuts identical to the current bounds.
+
+        Raises:
+            ConfigError: Called on an unfitted handle.
+        """
+        self.session._check_open()
+        if self.plan is None:
+            raise ConfigError(f"cannot rebalance unfitted index {self.name!r}")
+        if self.shard_strategy != "range" or self.n_shards < 2:
+            return False
+        if self._stream is not None:
+            # Live mutations would have to be re-routed mid-flight;
+            # compaction folds them into the base first.
+            return False
+        current = self.plan.range_bounds()
+        if current is None:
+            return False
+        weights = [float(w) for w in shard_weights][: self.n_shards]
+        weights += [0.0] * (self.n_shards - len(weights))
+        bounds = balanced_range_bounds(self.plan.sizes(), weights)
+        if bounds is None or bounds == current:
+            return False
+        corpus = self.plan.reassemble()
+        self._install_plan(ShardPlan.build_ranges(corpus, bounds))
+        self.rebalance_epoch += 1
+        if self.session.plan_cache is not None:
+            self.session.plan_cache.invalidate(self.name)
+        return True
 
     # ------------------------------------------------------------------
     # planning
+
+    def _plan_epoch(self):
+        """Plan-cache epoch: the base epoch plus the rebalance counter.
+
+        A rebalance rewrites the shard keyword tables the planner routes
+        against without touching the fit epoch (results are unchanged),
+        so it must contribute its own component to the cache key.
+        """
+        return (super()._plan_epoch(), self.rebalance_epoch)
 
     def _plan_shards(self) -> ShardContext | None:
         """Shard context the query planner compiles against.

@@ -197,8 +197,83 @@ class ShardPlan:
         ]
         return cls(shards, strategy, n)
 
+    @classmethod
+    def build_ranges(cls, corpus: Corpus, bounds) -> "ShardPlan":
+        """Partition ``corpus`` into contiguous ranges at explicit bounds.
+
+        The rebalancer's constructor: where :meth:`build` cuts equal-size
+        ranges, this cuts at caller-chosen positions (equal *load* rather
+        than equal size). The result keeps ``strategy == "range"``, so
+        keyword-bounds query routing — and therefore shard pruning —
+        keeps working on the rebalanced plan.
+
+        Args:
+            corpus: The global corpus.
+            bounds: ``n_shards + 1`` non-decreasing ints with
+                ``bounds[0] == 0`` and ``bounds[-1] == len(corpus)``;
+                shard ``s`` holds global ids ``[bounds[s], bounds[s+1])``.
+
+        Raises:
+            ConfigError: Bounds that do not partition the corpus.
+        """
+        if not isinstance(corpus, Corpus):
+            corpus = Corpus(corpus)
+        bounds = [int(b) for b in bounds]
+        n = len(corpus)
+        if len(bounds) < 2 or bounds[0] != 0 or bounds[-1] != n:
+            raise ConfigError(
+                f"range bounds must run 0..{n}, got {bounds[:1]}..{bounds[-1:]}"
+            )
+        if any(b > c for b, c in zip(bounds, bounds[1:])):
+            raise ConfigError(f"range bounds must be non-decreasing: {bounds}")
+        shards = [
+            ShardSlice(
+                position=s,
+                corpus=Corpus(corpus.keyword_arrays[bounds[s] : bounds[s + 1]]),
+                global_ids=np.arange(bounds[s], bounds[s + 1], dtype=ID_DTYPE),
+            )
+            for s in range(len(bounds) - 1)
+        ]
+        return cls(shards, "range", n)
+
     # ------------------------------------------------------------------
     # introspection
+
+    def range_bounds(self) -> list[int] | None:
+        """The cut points of a contiguous range partition, else ``None``.
+
+        A valid result ``b`` satisfies ``shard s == [b[s], b[s+1])``;
+        hash plans (and any non-contiguous layout) return ``None``.
+        """
+        bounds = [0]
+        for shard in self.shards:
+            ids = shard.global_ids
+            if ids.size and (
+                int(ids[0]) != bounds[-1]
+                or not np.array_equal(
+                    ids, np.arange(ids[0], ids[0] + ids.size, dtype=ID_DTYPE)
+                )
+            ):
+                return None
+            bounds.append(bounds[-1] + int(ids.size))
+        if bounds[-1] != self.n_objects:
+            return None
+        return bounds
+
+    def reassemble(self) -> Corpus:
+        """The global corpus, rebuilt from the shard slices.
+
+        Exact inverse of construction: object ``g`` comes from whichever
+        shard holds global id ``g``. Lets the rebalancer recut a fitted
+        plan without the caller keeping the original corpus alive.
+        """
+        arrays = [None] * self.n_objects
+        for shard in self.shards:
+            for local, g in enumerate(shard.global_ids):
+                arrays[int(g)] = shard.corpus.keyword_arrays[local]
+        if any(arr is None for arr in arrays):
+            raise ConfigError("cannot reassemble: plan does not cover the corpus")
+        return Corpus(arrays)
 
     @property
     def n_shards(self) -> int:

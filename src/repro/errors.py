@@ -53,6 +53,26 @@ class InvariantError(ReproError):
     """
 
 
+class AvailabilityError(ReproError):
+    """Raised when every replica of a shard's group is unavailable.
+
+    A shard scan that hits a failed device fails over to a surviving
+    replica (see :mod:`repro.replica`); only when the *whole* replica
+    group is down does the search fail — with this error, never a hang
+    or a silently partial result. Carries the index name, the shard
+    position, and the pool positions of the devices that were tried.
+    """
+
+    def __init__(self, index, shard, devices):
+        self.index = str(index)
+        self.shard = int(shard)
+        self.devices = tuple(int(d) for d in devices)
+        super().__init__(
+            f"shard {self.shard} of index {self.index!r} has no live replica "
+            f"(pool devices {list(self.devices)} are down)"
+        )
+
+
 class AdmissionError(ReproError):
     """Raised when a serving queue refuses a request (explicit backpressure).
 

@@ -25,6 +25,15 @@ class ResultTable:
     columns: list[str]
     rows: list[dict] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    volatile: list[str] = field(default_factory=list)
+
+    #: Placeholder rendered for volatile cells in a stable rendering.
+    STABLE_MASK = "~"
+
+    def __post_init__(self):
+        unknown = set(self.volatile) - set(self.columns)
+        if unknown:
+            raise KeyError(f"volatile names unknown columns: {sorted(unknown)}")
 
     def add_row(self, **values) -> None:
         """Append a row; values are keyed by column name."""
@@ -47,15 +56,26 @@ class ResultTable:
             if all(row.get(key) == value for key, value in conditions.items())
         ]
 
-    def format(self, float_digits: int = 6) -> str:
-        """Render as an aligned ASCII table."""
-        def fmt(value) -> str:
+    def format(self, float_digits: int = 6, stable: bool = False) -> str:
+        """Render as an aligned ASCII table.
+
+        With ``stable=True``, cells of columns listed in
+        :attr:`volatile` (wall-clock measurements and anything else that
+        varies run to run) render as :attr:`STABLE_MASK` and a note
+        names them — the rendering is then byte-identical across runs
+        and machines, which is what lets benchmark ``.txt`` artifacts be
+        committed and diffed. Simulated numbers are deterministic and
+        never need masking.
+        """
+        def fmt(value, column) -> str:
+            if stable and column in self.volatile and value is not None:
+                return self.STABLE_MASK
             if isinstance(value, float):
                 return f"{value:.{float_digits}g}"
             return "" if value is None else str(value)
 
         header = [str(c) for c in self.columns]
-        body = [[fmt(row.get(c)) for c in self.columns] for row in self.rows]
+        body = [[fmt(row.get(c), c) for c in self.columns] for row in self.rows]
         widths = [
             max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
             for i in range(len(header))
@@ -67,6 +87,11 @@ class ResultTable:
             lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
         for note in self.notes:
             lines.append(f"# {note}")
+        if stable and self.volatile:
+            masked = ", ".join(c for c in self.columns if c in self.volatile)
+            lines.append(
+                f"# volatile columns masked for byte-stable artifact: {masked}"
+            )
         return "\n".join(lines)
 
     def __str__(self) -> str:

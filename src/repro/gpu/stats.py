@@ -104,6 +104,18 @@ class StageTimings:
         for stage, seconds in other.seconds.items():
             self.add(stage, seconds)
 
+    def scale(self, factor: float) -> None:
+        """Multiply every stage's seconds by ``factor`` (>= 0).
+
+        Models a uniformly degraded device (a ``"slow"`` fault in
+        :mod:`repro.replica`): the work is unchanged, the timeline it
+        occupies stretches.
+        """
+        if factor < 0:
+            raise ValueError(f"negative scale factor: {factor}")
+        for stage in self.seconds:
+            self.seconds[stage] = self.seconds[stage] * float(factor)
+
     def copy(self) -> "StageTimings":
         """An independent copy of this report."""
         return StageTimings(seconds=dict(self.seconds))

@@ -8,6 +8,7 @@ One module per rule, named after the invariant it encodes:
 * :mod:`~repro.lint.rules.metrics`      — REPRO004
 * :mod:`~repro.lint.rules.defaults`     — REPRO005
 * :mod:`~repro.lint.rules.seeds`        — REPRO006
+* :mod:`~repro.lint.rules.retries`      — REPRO007
 """
 
 from repro.lint.rules import (  # noqa: F401
@@ -15,6 +16,7 @@ from repro.lint.rules import (  # noqa: F401
     defaults,
     determinism,
     metrics,
+    retries,
     seeds,
     taxonomy,
 )

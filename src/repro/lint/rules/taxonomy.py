@@ -14,6 +14,9 @@ corruption). Three checks:
   the abstract-method marker ``NotImplementedError`` are allowed, as is
   re-raising a caught variable and raising any known ``ReproError``
   subclass — including subclasses defined in the linted files.
+  ``AttributeError`` raised inside a ``__getattr__``/``__getattribute__``
+  body is the attribute protocol itself (``hasattr`` and lazy module
+  exports depend on exactly that type) and is likewise allowed.
 * bare ``except:`` / ``except Exception:`` / ``except BaseException:``
   whose body never re-raises — the swallow shape that turns taxonomy
   violations (and everything else) into silence.
@@ -50,6 +53,11 @@ _ALLOWED_BUILTINS = frozenset(
 
 _SWALLOWERS = frozenset({"Exception", "BaseException"})
 
+#: Functions whose contract *is* raising AttributeError: the attribute
+#: protocol (module-level ``__getattr__`` included) signals "no such
+#: attribute" with exactly that builtin type.
+_ATTR_PROTOCOL_FUNCS = frozenset({"__getattr__", "__getattribute__"})
+
 
 def _raised_name(exc: ast.AST) -> str | None:
     """The class name a raise statement targets, when statically visible."""
@@ -82,9 +90,20 @@ class TaxonomyRule(Rule):
     )
 
     def check(self, ctx):
+        protocol_raises = set()
+        for fn in ast.walk(ctx.tree):
+            if (
+                isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and fn.name in _ATTR_PROTOCOL_FUNCS
+            ):
+                for sub in ast.walk(fn):
+                    if isinstance(sub, ast.Raise):
+                        protocol_raises.add(sub)
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Raise) and node.exc is not None:
                 name = _raised_name(node.exc)
+                if name == "AttributeError" and node in protocol_raises:
+                    continue
                 if (
                     name is not None
                     and name in _BUILTIN_EXCEPTIONS

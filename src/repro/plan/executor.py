@@ -24,8 +24,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.types import ID_DTYPE, Query, TopKResult
+from repro.errors import AvailabilityError
 from repro.gpu.stats import StageTimings
 from repro.plan.planner import CompiledPlan
+from repro.replica.faults import STATUS_DOWN, FailoverEvent
 
 
 def execute_plan(
@@ -197,23 +199,83 @@ def _scan_round(
     (including any swap-in it forced) accumulates into
     ``shard_profiles``.
     """
-    session = handle.session
     for shard, part in enumerate(parts):
         route = routes[shard]
         if route.size == 0:
             continue
-        device = part.engine.device
-        transfer_before = device.timings.get("index_transfer")
-        session._ensure_resident(part)
         subset = [queries[int(j)] for j in route]
-        results = handle._query_engine(part.engine, subset, k, batch_size)
-        shard_profile = part.engine.last_profile.copy()
-        swap_seconds = device.timings.get("index_transfer") - transfer_before
-        if swap_seconds > 0:
-            shard_profile.add("index_transfer", swap_seconds)
+        results, shard_profile = _scan_one(handle, part, subset, k, batch_size)
         shard_profiles[shard].merge(shard_profile)
         for j, result in zip(route, results):
             per_shard[shard][int(j)] = result
+
+
+def _scan_one(
+    handle,
+    part,
+    subset: list[Query],
+    k: int,
+    batch_size: int | None,
+) -> tuple[list[TopKResult], StageTimings]:
+    """Scan one slice's routed subset on the first live replica.
+
+    The candidate order comes from ``handle._scan_candidates`` (plain
+    handles: the part itself; replicated handles: the whole replica
+    group, least-loaded first). Under an injected
+    :class:`~repro.replica.faults.FaultPlan`, a candidate on a crashed
+    device is skipped — charging a deterministic seeded retry penalty
+    onto the surviving scan's profile (the ``failover_retry`` stage, on
+    the batch critical path) and emitting a
+    :class:`~repro.replica.faults.FailoverEvent` — and a candidate on a
+    slowed device scans with its stage timings stretched by the fault's
+    factor. The attempt loop is bounded by the replica count (lint rule
+    REPRO007's bounded-retry shape).
+
+    Raises:
+        AvailabilityError: Every candidate's device is down.
+    """
+    session = handle.session
+    faults = getattr(session, "faults", None)
+    candidates = handle._scan_candidates(part)
+    penalty = 0.0
+    tried: list[int] = []
+    for attempt, candidate in enumerate(candidates):
+        device = candidate.engine.device
+        factor = 1.0
+        if faults is not None:
+            position = session.device_position(device)
+            status, factor = faults.state(position)
+            if status == STATUS_DOWN:
+                step = faults.retry_penalty_for(part.position, attempt)
+                penalty += step
+                tried.append(position)
+                session._record_failover(
+                    FailoverEvent(
+                        index=handle.name,
+                        shard=part.position,
+                        device=position,
+                        attempt=attempt,
+                        permanent=faults.permanently_down(position),
+                        penalty=step,
+                    )
+                )
+                continue
+        transfer_before = device.timings.get("index_transfer")
+        session._ensure_resident(candidate)
+        results = handle._query_engine(candidate.engine, subset, k, batch_size)
+        shard_profile = candidate.engine.last_profile.copy()
+        swap_seconds = device.timings.get("index_transfer") - transfer_before
+        if swap_seconds > 0:
+            shard_profile.add("index_transfer", swap_seconds)
+        if factor > 1.0:
+            # A slowed device does the same work on a stretched timeline;
+            # counts and ids are untouched, only latency grows.
+            shard_profile.scale(factor)
+        if penalty > 0.0:
+            shard_profile.add("failover_retry", penalty)
+        session._note_device_busy(device, shard_profile.query_total())
+        return results, shard_profile
+    raise AvailabilityError(handle.name, part.position, tried)
 
 
 def _tput_topup_routes(

@@ -1,0 +1,63 @@
+"""repro.replica: replicated, self-healing cluster serving.
+
+Four pieces, wired through the existing layers:
+
+* **Replica groups** (:mod:`repro.replica.handle`) —
+  ``create_index(..., shards=N, replicas=R)`` places R copies of every
+  shard slice on distinct pool devices (chained declustering); shard
+  scans pick the least-loaded live replica per batch.
+* **Deterministic fault injection** (:mod:`repro.replica.faults`) — a
+  seeded :class:`FaultPlan` of device crash/slowdown/recovery events on
+  the virtual clock; failure experiments are bit-reproducible.
+* **Retry-on-replica failover** — the plan executor re-dispatches a
+  scan that hits a failed device to a surviving replica, charging the
+  retry on the batch critical path; results are property-tested
+  bit-identical to a fault-free run, and only a fully-down group raises
+  :class:`~repro.errors.AvailabilityError`.
+* **Self-healing** (:mod:`repro.replica.rebalance`) — a
+  :class:`RebalancePolicy` watches the serve layer's rolling shard
+  imbalance and recuts hot range partitions online
+  (:meth:`ShardedIndexHandle.rebalance
+  <repro.cluster.executor.ShardedIndexHandle.rebalance>`), and
+  permanently failed devices trigger re-replication of their groups.
+
+:class:`ReplicatedIndexHandle` is imported lazily (it pulls in the
+session and cluster layers; the leaf modules here must stay importable
+from them without a cycle).
+"""
+
+from repro.replica.faults import (
+    FAULT_KINDS,
+    FailoverEvent,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    STATUS_DOWN,
+    STATUS_SLOW,
+    STATUS_UP,
+)
+from repro.replica.load import DeviceLoadTracker
+from repro.replica.rebalance import RebalancePolicy, balanced_range_bounds
+
+__all__ = [
+    "FAULT_KINDS",
+    "STATUS_DOWN",
+    "STATUS_SLOW",
+    "STATUS_UP",
+    "DeviceLoadTracker",
+    "FailoverEvent",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "RebalancePolicy",
+    "ReplicatedIndexHandle",
+    "balanced_range_bounds",
+]
+
+
+def __getattr__(name):
+    if name == "ReplicatedIndexHandle":
+        from repro.replica.handle import ReplicatedIndexHandle
+
+        return ReplicatedIndexHandle
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,208 @@
+"""Replica groups: R copies of every shard slice on distinct devices.
+
+:class:`ReplicatedIndexHandle` is the ``create_index(..., shards=N,
+replicas=R)`` surface. It keeps the sharded handle's whole contract —
+same planner context, same exact merge, bit-identical results — and adds
+an availability layer underneath:
+
+* **Placement** is chained declustering: replica ``r`` of shard ``s``
+  lives on pool device ``(s + r) % P`` with ``P = max(N, R)``. Every
+  group spans R *distinct* devices, consecutive shards overlap on
+  staggered device sets, and any ``R - 1`` concurrent device failures
+  leave every group a survivor.
+* **Each copy is its own residency unit**: R copies of a slice are R
+  independent attach/evict entries under the session's aggregate memory
+  budget, so replication trades budget headroom for availability
+  exactly like real device memory would.
+* **Selection** is least-loaded-first at dispatch time: the plan
+  executor asks :meth:`_scan_candidates` for the group ordered by
+  rolling per-device busy seconds (ties break to the lowest replica
+  number). Replica choice deliberately stays *out* of the compiled
+  plan: cached plans remain valid across failures and load shifts, and
+  the executor re-prices the choice per batch from the same observed
+  busy-seconds signal a cost-lattice row would use.
+* **Self-healing**: :meth:`re_replicate` replaces copies stranded on a
+  permanently failed device by re-attaching the surviving index to the
+  least-loaded live device outside the group (paying ``index_transfer``
+  — the index structure itself is copied from a survivor, not rebuilt).
+"""
+
+from __future__ import annotations
+
+from repro.api.session import _IndexPart
+from repro.cluster.executor import ShardedIndexHandle
+from repro.core.engine import GenieEngine
+from repro.errors import ConfigError
+from repro.replica.faults import STATUS_DOWN
+
+
+class ReplicatedIndexHandle(ShardedIndexHandle):
+    """A sharded session index with R copies of every shard slice.
+
+    Created by :meth:`GenieSession.create_index(..., shards=N, replicas=R)
+    <repro.api.session.GenieSession.create_index>`. With ``replicas=1``
+    this behaves exactly like a :class:`ShardedIndexHandle` (one copy per
+    shard) while still participating in fault handling — a single-replica
+    shard on a crashed device fails the search with a clean
+    :class:`~repro.errors.AvailabilityError`.
+    """
+
+    def __init__(
+        self,
+        session,
+        name: str,
+        model,
+        config,
+        shards: int,
+        replicas: int,
+        strategy: str = "range",
+        seed: int = 0,
+    ):
+        if int(replicas) < 1:
+            raise ConfigError("replicas must be >= 1")
+        super().__init__(
+            session, name, model, config, shards, strategy=strategy, seed=seed
+        )
+        self.n_replicas = int(replicas)
+        self._replica_parts: list[list[_IndexPart]] = []
+
+    # ------------------------------------------------------------------
+    # placement
+
+    def _pool_size(self) -> int:
+        """Pool devices needed: enough for the shards *and* one group."""
+        return max(self.n_shards, self.n_replicas)
+
+    def replica_devices(self, shard: int) -> list[int]:
+        """Pool positions of ``shard``'s replica group (chained declustering).
+
+        Replica ``r`` maps to ``(shard + r) % pool``; with
+        ``replicas <= pool`` the group's devices are pairwise distinct.
+        """
+        pool = self._pool_size()
+        return [(int(shard) + r) % pool for r in range(self.n_replicas)]
+
+    def replica_layout(self) -> dict[int, tuple[int, ...]]:
+        """Current shard → device-position placement (after any healing)."""
+        return {
+            shard: tuple(
+                self.session.device_position(part.engine.device) for part in group
+            )
+            for shard, group in enumerate(self._replica_parts)
+        }
+
+    def _place_parts(self, built, devices) -> list[_IndexPart]:
+        """R parts per shard, one per group device; replica 0 is primary."""
+        self._parts = []
+        self._replica_parts = []
+        for shard, index in built:
+            group = []
+            for r, position in enumerate(self.replica_devices(shard.position)):
+                if r == 0:
+                    engine = self._part_engine(shard.position, devices[position])
+                else:
+                    engine = GenieEngine(
+                        device=devices[position],
+                        host=self.session.host,
+                        config=self.config,
+                    )
+                group.append(
+                    _IndexPart(
+                        self, shard.position, engine, shard.corpus, index,
+                        offset=0, global_ids=shard.global_ids, replica=r,
+                    )
+                )
+            self._replica_parts.append(group)
+            self._parts.append(group[0])
+        return [part for group in self._replica_parts for part in group]
+
+    def _all_parts(self) -> list[_IndexPart]:
+        """Every replica of every shard, plus any delta-segment parts."""
+        parts = [part for group in self._replica_parts for part in group]
+        if self._stream is not None:
+            parts.extend(self._stream.attached_parts())
+        return parts
+
+    # ------------------------------------------------------------------
+    # dispatch
+
+    def _scan_candidates(self, part: _IndexPart) -> tuple:
+        """The part's replica group, least-loaded device first.
+
+        Ordering key is (rolling busy seconds of the replica's device,
+        replica number) — deterministic, and self-balancing: a slowed
+        device accumulates stretched busy seconds and repels traffic.
+        Delta-segment parts are not replicated and pass through as
+        themselves.
+        """
+        for group in self._replica_parts:
+            if part in group:
+                session = self.session
+                load = session.device_load
+                order = sorted(
+                    range(len(group)),
+                    key=lambda r: (
+                        load.load(session.device_position(group[r].engine.device)),
+                        r,
+                    ),
+                )
+                return tuple(group[r] for r in order)
+        return (part,)
+
+    # ------------------------------------------------------------------
+    # self-healing
+
+    def re_replicate(self) -> int:
+        """Replace replicas stranded on permanently failed devices.
+
+        For every group member whose device the session's fault plan
+        marks permanently down, a replacement copy is placed on the
+        least-loaded live pool device not already hosting the shard —
+        re-attaching the *surviving* index structure (the group's copies
+        are identical), so the cost is an ``index_transfer`` on the new
+        device's link, not a rebuild. Groups whose dead device has no
+        eligible target (everything else down or already hosting) are
+        left under-replicated for a later pass.
+
+        Returns the number of replicas placed. No-op without an injected
+        fault plan.
+        """
+        faults = self.session.faults
+        if faults is None or self.plan is None:
+            return 0
+        pool = self.session.shard_devices(self._pool_size())
+        load = self.session.device_load
+        placed = 0
+        for shard_pos, group in enumerate(self._replica_parts):
+            for r, part in enumerate(group):
+                position = self.session.device_position(part.engine.device)
+                if not faults.permanently_down(position):
+                    continue
+                hosting = {
+                    self.session.device_position(p.engine.device) for p in group
+                }
+                candidates = [
+                    i for i in range(len(pool))
+                    if i not in hosting and faults.state(i)[0] != STATUS_DOWN
+                ]
+                if not candidates:
+                    continue
+                target = min(candidates, key=lambda i: (load.load(i), i))
+                replacement = _IndexPart(
+                    self, shard_pos,
+                    GenieEngine(
+                        device=pool[target],
+                        host=self.session.host,
+                        config=self.config,
+                    ),
+                    part.corpus, part.index,
+                    offset=0, global_ids=part.global_ids, replica=r,
+                )
+                if part.resident:
+                    self.session._evict_part(part)
+                group[r] = replacement
+                if r == 0:
+                    self._parts[shard_pos] = replacement
+                self.session._ensure_resident(replacement)
+                placed += 1
+        return placed

@@ -17,13 +17,18 @@ exports the same keys it always has (a back-compat test enforces it).
 
 from __future__ import annotations
 
+from collections import deque
+
 from repro.obs.drift import DriftTracker
 from repro.obs.registry import Histogram, MetricsRegistry, percentile_nearest_rank
 
-__all__ = ["REPORTED_PERCENTILES", "ServeMetrics", "percentile_nearest_rank"]
+__all__ = ["REPORTED_PERCENTILES", "ROLLING_SHARD_WINDOW", "ServeMetrics", "percentile_nearest_rank"]
 
 #: Percentiles reported by :meth:`ServeMetrics.snapshot`.
 REPORTED_PERCENTILES = (50.0, 95.0, 99.0)
+
+#: Sharded batches the rolling shard-imbalance window spans by default.
+ROLLING_SHARD_WINDOW = 64
 
 #: Distinct batch sizes the histogram keeps exact before clamping new
 #: values onto the nearest existing bin. Far above any realistic
@@ -72,8 +77,16 @@ class ServeMetrics:
             run concurrently); per-shard work is in ``shard_busy_seconds``.
         shard_busy_seconds: Per shard position, simulated seconds that
             shard's device spent on dispatched batches (sharded indexes
-            only; empty otherwise).
+            only; empty otherwise). Lifetime totals — see
+            :attr:`rolling_shard_imbalance` for the recent-window view
+            rebalancing decisions need.
         sharded_batches: Dispatched batches that ran on a sharded index.
+        replica_failovers: Scan attempts re-dispatched past a failed
+            device onto a surviving replica (see :mod:`repro.replica`).
+        replica_rebalances: Online hot-shard rebalances the server's
+            :class:`~repro.replica.rebalance.RebalancePolicy` fired.
+        replica_re_replications: Replicas re-placed after a permanent
+            device failure left their group under-replicated.
         routed_batches: Sharded batches whose plan pruned at least one
             (query, shard) scan pair instead of broadcasting (see
             :class:`repro.plan.nodes.RoutingSummary`).
@@ -103,13 +116,17 @@ class ServeMetrics:
     busy_seconds = _counter_property("busy_seconds")
     sharded_batches = _counter_property("sharded_batches")
     routed_batches = _counter_property("routed_batches")
+    replica_failovers = _counter_property("replica_failovers")
+    replica_rebalances = _counter_property("replica_rebalances")
+    replica_re_replications = _counter_property("replica_re_replications")
 
-    def __init__(self):
+    def __init__(self, rolling_shard_window: int = ROLLING_SHARD_WINDOW):
         registry = MetricsRegistry()
         for name in (
             "submitted", "completed", "rejected", "failed",
             "cache_hits", "cache_misses", "batches",
             "swap_ins", "evictions", "sharded_batches", "routed_batches",
+            "replica_failovers", "replica_rebalances", "replica_re_replications",
         ):
             registry.counter(name)
         registry.counter("busy_seconds").value = 0.0
@@ -117,6 +134,9 @@ class ServeMetrics:
         self._batch_hist = registry.histogram("batch_sizes", max_bins=BATCH_SIZE_BINS)
         self.rejected_by_reason: dict[str, int] = {}
         self.shard_busy_seconds: dict[int, float] = {}
+        # Per-batch shard-seconds vectors over a bounded recent window;
+        # the rolling shard-imbalance rebalancing decisions consult.
+        self._rolling_shards: deque = deque(maxlen=int(rolling_shard_window))
         self._scanned_pairs = 0
         self._pruned_pairs = 0
         self.first_arrival: float | None = None
@@ -207,6 +227,7 @@ class ServeMetrics:
         self.evictions += int(evictions)
         if shard_seconds is not None:
             self.sharded_batches += 1
+            self._rolling_shards.append(tuple(float(s) for s in shard_seconds))
             for shard, seconds in enumerate(shard_seconds):
                 self.shard_busy_seconds[shard] = (
                     self.shard_busy_seconds.get(shard, 0.0) + float(seconds)
@@ -273,6 +294,47 @@ class ServeMetrics:
         mean = sum(busy) / len(busy)
         return max(busy) / mean if mean > 0 else 0.0
 
+    def rolling_shard_seconds(self) -> list[float]:
+        """Per-shard busy seconds summed over the rolling window.
+
+        Positions a batch did not report (an index with fewer shards)
+        contribute zero to the missing tail. ``[]`` when no sharded
+        batch is in the window.
+        """
+        width = max((len(vec) for vec in self._rolling_shards), default=0)
+        sums = [0.0] * width
+        for vec in self._rolling_shards:
+            for shard, seconds in enumerate(vec):
+                sums[shard] += seconds
+        return sums
+
+    @property
+    def rolling_window_batches(self) -> int:
+        """Sharded batches currently inside the rolling window."""
+        return len(self._rolling_shards)
+
+    @property
+    def rolling_shard_imbalance(self) -> float:
+        """``max / mean`` of per-shard busy seconds over the rolling window.
+
+        The *when-to-rebalance* signal: unlike the lifetime
+        :attr:`shard_imbalance` gauge — which a long balanced history
+        pins near 1.0 no matter how skewed traffic just became, and
+        which a rebalance can never pull back down — this reflects only
+        the last window of sharded batches, so it rises when skew
+        appears and falls once a rebalance (or traffic shift) fixes it.
+        ``0.0`` with an empty window.
+        """
+        busy = self.rolling_shard_seconds()
+        if not busy:
+            return 0.0
+        mean = sum(busy) / len(busy)
+        return max(busy) / mean if mean > 0 else 0.0
+
+    def reset_rolling_shards(self) -> None:
+        """Drop the rolling window (after a rebalance: old cuts, old skew)."""
+        self._rolling_shards.clear()
+
     @property
     def pruned_shard_fraction(self) -> float:
         """Fraction of per-shard query scans that shard routing avoided.
@@ -320,6 +382,11 @@ class ServeMetrics:
             "pruned_shard_fraction": self.pruned_shard_fraction,
             "shard_busy_seconds": dict(sorted(self.shard_busy_seconds.items())),
             "shard_imbalance": self.shard_imbalance,
+            "rolling_shard_imbalance": self.rolling_shard_imbalance,
+            "rolling_window_batches": self.rolling_window_batches,
+            "replica_failovers": self.replica_failovers,
+            "replica_rebalances": self.replica_rebalances,
+            "replica_re_replications": self.replica_re_replications,
             "elapsed_seconds": self.elapsed_seconds,
             "throughput_qps": self.throughput,
             "plan_cache_hits": self.plan_cache.hits if self.plan_cache is not None else 0,

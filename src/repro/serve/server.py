@@ -211,6 +211,12 @@ class GenieServer:
             the choice is deterministic from the admission sequence
             number). ``None`` disables tracing entirely — untraced
             serving allocates no spans.
+        rebalance: A :class:`~repro.replica.rebalance.RebalancePolicy`
+            consulted after every dispatched sharded batch; past its
+            rolling-imbalance threshold the server recuts the batch's
+            index online (:meth:`ShardedIndexHandle.rebalance
+            <repro.cluster.executor.ShardedIndexHandle.rebalance>`).
+            ``None`` (default) never rebalances.
     """
 
     def __init__(
@@ -223,6 +229,7 @@ class GenieServer:
         route: str | None = None,
         plan: str | None = None,
         trace_sample: int | None = None,
+        rebalance=None,
     ):
         if int(max_queue_depth) < 1:
             raise ConfigError("max_queue_depth must be >= 1")
@@ -254,6 +261,12 @@ class GenieServer:
             # Background session work (stream compaction) records its
             # standalone spans through the same tracer and clock.
             session.tracer = self.tracer
+        self.rebalance_policy = rebalance
+        if session.faults is not None and session.faults.clock is None:
+            # Fault plans are virtual-clock schedules; wire the server's
+            # clock in so injected outages start and recover on the same
+            # timeline the metrics and traces use.
+            session.faults.clock = self.clock
         self._seq = 0
         self._device_free = 0.0
         self._closed = False
@@ -641,6 +654,10 @@ class GenieServer:
             self.metrics.record_stream(
                 handle.name, manifest.delta_postings, manifest.compactions
             )
+        if result.failovers:
+            self._heal_after_failover(handle, result.failovers)
+        if self.rebalance_policy is not None and shard_profiles:
+            self._maybe_rebalance(handle)
         payload_list = result.payload if isinstance(result.payload, list) else None
         for i, request in enumerate(requests):
             payload_i = payload_list[i] if payload_list is not None else None
@@ -668,6 +685,64 @@ class GenieServer:
             self.metrics.record_completion(completed - request.arrival, now - request.arrival, completed)
             if self.cache is not None and request.cache_key is not None:
                 self.cache.put(request.cache_key, (result.results[i], payload_i))
+
+    # ------------------------------------------------------------------
+    # self-healing (repro.replica)
+
+    def _heal_after_failover(self, handle, failovers) -> None:
+        """Count a batch's failovers; re-replicate after permanent loss.
+
+        Transient outages only feed the ``replica_failovers`` counter —
+        the device will come back. A *permanent* failure leaves every
+        group that used the device under-replicated, so the handle
+        re-places those copies on live devices immediately (the copy is
+        an ``index_transfer``, charged on the simulated timeline).
+        """
+        self.metrics.replica_failovers += len(failovers)
+        re_replicate = getattr(handle, "re_replicate", None)
+        if re_replicate is None or not any(ev.permanent for ev in failovers):
+            return
+        placed = re_replicate()
+        if placed:
+            self.metrics.replica_re_replications += placed
+            logger.debug(
+                "re-replicate index=%s placed=%d", handle.name, placed
+            )
+            if self.tracer is not None:
+                self.tracer.record(
+                    Span(
+                        "re_replicate", start=self.clock.now(),
+                        index=handle.name, placed=placed,
+                    )
+                )
+
+    def _maybe_rebalance(self, handle) -> None:
+        """Fire the rebalance policy when rolling imbalance crosses it."""
+        if not self.rebalance_policy.should_rebalance(self.metrics):
+            return
+        rebalance = getattr(handle, "rebalance", None)
+        if rebalance is None:
+            return
+        imbalance = self.metrics.rolling_shard_imbalance
+        moved = rebalance(self.metrics.rolling_shard_seconds())
+        self.rebalance_policy.note_fired(self.metrics)
+        if not moved:
+            return
+        self.metrics.replica_rebalances += 1
+        # The window measured the *old* cuts; post-move skew must be
+        # re-observed from scratch, and so must per-device load.
+        self.metrics.reset_rolling_shards()
+        self.session.device_load.reset()
+        logger.debug(
+            "rebalance index=%s rolling_imbalance=%.3f", handle.name, imbalance
+        )
+        if self.tracer is not None:
+            self.tracer.record(
+                Span(
+                    "rebalance", start=self.clock.now(),
+                    index=handle.name, rolling_imbalance=round(imbalance, 4),
+                )
+            )
 
     # ------------------------------------------------------------------
     # observability

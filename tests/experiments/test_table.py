@@ -39,3 +39,45 @@ class TestResultTable:
 
     def test_str(self):
         assert str(self._table()).startswith("== t ==")
+
+
+class TestVolatileColumns:
+    def _table(self):
+        table = ResultTable(
+            title="t",
+            columns=["stage", "sim_s", "wall_s"],
+            volatile=["wall_s"],
+        )
+        table.add_row(stage="x", sim_s=1.5, wall_s=0.123456)
+        table.add_row(stage="y", sim_s=2.5, wall_s=None)
+        return table
+
+    def test_live_format_keeps_volatile_values(self):
+        assert "0.123456" in self._table().format()
+
+    def test_stable_format_masks_volatile_values(self):
+        text = self._table().format(stable=True)
+        assert "0.123456" not in text
+        assert ResultTable.STABLE_MASK in text
+        assert "1.5" in text and "2.5" in text  # simulated columns intact
+        assert "masked for byte-stable artifact: wall_s" in text
+
+    def test_stable_format_is_deterministic_across_values(self):
+        # Two runs with different wall clocks -> identical artifacts.
+        first = self._table()
+        second = self._table()
+        second.rows[0]["wall_s"] = 9.87
+        assert first.format(stable=True) == second.format(stable=True)
+
+    def test_none_stays_blank_not_masked(self):
+        lines = self._table().format(stable=True).splitlines()
+        assert lines[4].split()[-1] == ResultTable.STABLE_MASK or "y" in lines[4]
+
+    def test_stable_without_volatile_is_plain_format(self):
+        table = ResultTable(title="t", columns=["a"])
+        table.add_row(a=1)
+        assert table.format(stable=True) == table.format()
+
+    def test_unknown_volatile_column_rejected(self):
+        with pytest.raises(KeyError):
+            ResultTable(title="t", columns=["a"], volatile=["z"])

@@ -33,9 +33,9 @@ CLEAN = textwrap.dedent(
 
 
 class TestRegistry:
-    def test_six_rules_in_stable_id_order(self):
+    def test_seven_rules_in_stable_id_order(self):
         ids = [rule.rule_id for rule in all_rules()]
-        assert ids == [f"REPRO00{i}" for i in range(1, 7)]
+        assert ids == [f"REPRO00{i}" for i in range(1, 8)]
 
     def test_every_rule_documents_itself(self):
         for rule in all_rules():

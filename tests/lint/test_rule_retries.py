@@ -1,0 +1,172 @@
+"""REPRO007 fixtures: unbounded retries and unseeded jitter are flagged."""
+
+
+class TestUnboundedRetry:
+    def test_while_true_retry_flagged(self, findings_for):
+        findings = findings_for(
+            """
+            def fetch(part):
+                while True:
+                    try:
+                        return part.scan()
+                    except IOError:
+                        continue
+            """
+        )
+        assert [f.rule_id for f in findings] == ["REPRO007"]
+        assert "unbounded retry loop" in findings[0].message
+
+    def test_while_one_retry_flagged(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            def fetch(part):
+                while 1:
+                    try:
+                        return part.scan()
+                    except IOError:
+                        pass
+            """
+        ) == ["REPRO007"]
+
+    def test_bounded_for_retry_is_fine(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            def fetch(part, max_attempts):
+                for attempt in range(max_attempts):
+                    try:
+                        return part.scan()
+                    except IOError:
+                        continue
+                raise TimeoutError(part)
+            """,
+            path="repro/core/fixture.py",
+        ) == ["REPRO002"]  # the builtin raise, not the loop
+
+    def test_bounded_while_retry_is_fine(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            def fetch(part, budget):
+                attempt = 0
+                while attempt < budget:
+                    try:
+                        return part.scan()
+                    except IOError:
+                        attempt += 1
+            """
+        ) == []
+
+    def test_while_true_that_escapes_on_failure_is_fine(self, rule_ids_for):
+        # Every handler propagates — the loop never retries a failure,
+        # so it is an event loop, not a retry loop.
+        assert rule_ids_for(
+            """
+            def pump(queue):
+                while True:
+                    try:
+                        queue.step()
+                    except StopIteration:
+                        break
+            """
+        ) == []
+
+    def test_while_true_without_try_is_fine(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            def drain(queue):
+                while True:
+                    item = queue.pop()
+                    if item is None:
+                        break
+            """
+        ) == []
+
+    def test_nested_function_try_does_not_make_retry_loop(self, rule_ids_for):
+        # The resuming handler lives in a nested def; the enclosing
+        # while True is not retrying anything.
+        assert rule_ids_for(
+            """
+            def pump(queue):
+                while True:
+                    def safe(item):
+                        try:
+                            return item.go()
+                        except IOError:
+                            return None
+                    if queue.feed(safe) is None:
+                        break
+            """
+        ) == []
+
+    def test_mixed_handlers_one_resuming_is_retry(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            def fetch(part):
+                while True:
+                    try:
+                        return part.scan()
+                    except ValueError:
+                        raise
+                    except IOError:
+                        continue
+            """
+        ) == ["REPRO007"]
+
+
+class TestRetryJitter:
+    def test_stdlib_random_backoff_flagged(self, findings_for):
+        findings = findings_for(
+            """
+            import random
+
+            def fetch(part, max_attempts):
+                for attempt in range(max_attempts):
+                    try:
+                        return part.scan()
+                    except IOError:
+                        part.backoff(random.uniform(0, 2 ** attempt))
+            """
+        )
+        ids = sorted(f.rule_id for f in findings)
+        assert "REPRO007" in ids  # REPRO001 also fires; both point here
+        jitter = [f for f in findings if f.rule_id == "REPRO007"]
+        assert len(jitter) == 1
+        assert "stdlib random" in jitter[0].message
+
+    def test_unseeded_default_rng_backoff_flagged(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            import numpy as np
+
+            def fetch(part, max_attempts):
+                for attempt in range(max_attempts):
+                    try:
+                        return part.scan()
+                    except IOError:
+                        part.backoff(np.random.default_rng().uniform())
+            """
+        ) == ["REPRO001", "REPRO007"]
+
+    def test_seeded_context_rng_is_fine(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            import numpy as np
+
+            def fetch(part, seed, max_attempts):
+                for attempt in range(max_attempts):
+                    try:
+                        return part.scan()
+                    except IOError:
+                        rng = np.random.default_rng([seed, part.position, attempt])
+                        part.backoff(rng.uniform())
+            """
+        ) == []
+
+    def test_unseeded_rng_outside_retry_loop_is_repro001_only(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            import numpy as np
+
+            def noise():
+                return np.random.default_rng().uniform()
+            """
+        ) == ["REPRO001"]

@@ -134,3 +134,27 @@ class TestAsserts:
                     raise InvariantError("ZA[AT] must stay below k")
             """
         ) == []
+
+
+class TestAttributeProtocol:
+    def test_module_getattr_attributeerror_is_fine(self, rule_ids_for):
+        # Lazy module exports (PEP 562) must raise AttributeError — the
+        # import machinery and hasattr() dispatch on exactly that type.
+        assert rule_ids_for(
+            """
+            def __getattr__(name):
+                if name == "LazyThing":
+                    from repro.core.engine import GenieEngine
+
+                    return GenieEngine
+                raise AttributeError(f"module has no attribute {name!r}")
+            """
+        ) == []
+
+    def test_attributeerror_outside_protocol_still_flagged(self, rule_ids_for):
+        assert rule_ids_for(
+            """
+            def lookup(obj, name):
+                raise AttributeError(name)
+            """
+        ) == ["REPRO002"]

@@ -1,0 +1,180 @@
+"""Property suite: fault-injected serving is bit-identical to fault-free.
+
+The availability contract, stated as a property: for any seeded
+:class:`FaultPlan` that keeps at most ``replicas - 1`` devices down at
+once, serving a workload through a replicated index produces *exactly*
+the ids, counts, and tie order the fault-free run produces — failures
+move latency (retry penalties, slow factors), never results. With a
+single replica the same plans instead surface a clean
+:class:`AvailabilityError` whenever a scanned shard's only device is
+down — never a hang, never a silently dropped future.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.api import GenieSession
+from repro.errors import AvailabilityError
+from repro.replica import FaultEvent, FaultPlan
+from repro.serve import BatchPolicy, GenieServer
+
+K = 5
+VOCAB = 240
+HORIZON = 1e-3  # virtual seconds; outages cycle well inside a drain
+
+
+def make_data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        np.unique(rng.choice(VOCAB, size=9, replace=False)).astype(np.int64)
+        for _ in range(n)
+    ]
+
+
+def make_queries(count=20, seed=1):
+    rng = np.random.default_rng(seed)
+    return [
+        np.sort(rng.choice(VOCAB, size=6, replace=False)).astype(np.int64)
+        for _ in range(count)
+    ]
+
+
+def serve_results(session, queries):
+    server = GenieServer(
+        session,
+        policy=BatchPolicy.micro(max_batch=8, max_wait=1e-4),
+        cache_size=None,
+    )
+    futures = []
+    for q in queries:
+        futures.append(server.submit("idx", q, k=K))
+        server.advance(HORIZON / (2 * len(queries)))
+    server.drain()
+    out = []
+    for f in futures:
+        r = f.result()  # zero failed futures is part of the property
+        out.append(
+            (
+                tuple(np.asarray(r.ids).ravel()),
+                tuple(np.asarray(r.counts).ravel()),
+                float(np.asarray(r.threshold).ravel()[0])
+                if np.asarray(r.threshold).size
+                else None,
+            )
+        )
+    server.close()
+    return out
+
+
+CASES = [
+    pytest.param(strategy, shards, replicas, seed,
+                 id=f"{strategy}-s{shards}-r{replicas}-seed{seed}")
+    for strategy, shards, replicas, seed in itertools.product(
+        ("range", "hash"), (1, 2, 4), (2, 3), (11, 23)
+    )
+]
+
+
+class TestFaultTransparency:
+    @pytest.mark.parametrize("strategy,shards,replicas,seed", CASES)
+    def test_bit_identical_under_random_faults(
+        self, strategy, shards, replicas, seed
+    ):
+        data, queries = make_data(), make_queries()
+        with GenieSession() as clean, GenieSession() as faulty:
+            clean.create_index(
+                data, model="raw", name="idx", shards=shards,
+                replicas=replicas, shard_strategy=strategy,
+            )
+            expected = serve_results(clean, queries)
+
+            faulty.create_index(
+                data, model="raw", name="idx", shards=shards,
+                replicas=replicas, shard_strategy=strategy,
+            )
+            pool = max(shards, replicas)
+            plan = FaultPlan.random(
+                n_devices=pool, horizon=HORIZON, seed=seed,
+                max_down=replicas - 1, mean_outage=HORIZON / 4,
+                slow_fraction=0.3,
+            )
+            faulty.inject_faults(plan)
+            assert serve_results(faulty, queries) == expected
+
+    @pytest.mark.parametrize("seed", [11, 23, 37])
+    def test_direct_search_matches_too(self, seed):
+        # The property holds below the serve layer as well: plain
+        # handle.search under a static outage equals the fault-free run.
+        data, queries = make_data(), make_queries()
+        with GenieSession() as clean, GenieSession() as faulty:
+            h0 = clean.create_index(
+                data, model="raw", name="idx", shards=4, replicas=2
+            )
+            expected = [
+                tuple(np.asarray(h0.search([q], k=K).ids).ravel())
+                for q in queries
+            ]
+            h1 = faulty.create_index(
+                data, model="raw", name="idx", shards=4, replicas=2
+            )
+            rng = np.random.default_rng(seed)
+            victim = int(rng.integers(4))
+            faulty.inject_faults(
+                FaultPlan([FaultEvent(device=victim, start=0.0)])
+            )
+            got = [
+                tuple(np.asarray(h1.search([q], k=K).ids).ravel())
+                for q in queries
+            ]
+            assert got == expected
+
+
+class TestSingleReplicaFailsClean:
+    @pytest.mark.parametrize("victim", [0, 1, 3])
+    def test_availability_error_names_the_dead_group(self, victim):
+        with GenieSession() as session:
+            handle = session.create_index(
+                make_data(), model="raw", name="idx", shards=4, replicas=1
+            )
+            session.inject_faults(
+                FaultPlan([FaultEvent(device=victim, start=0.0)])
+            )
+            broad = np.arange(VOCAB, dtype=np.int64)
+            with pytest.raises(AvailabilityError) as err:
+                handle.search([broad], k=K)
+            assert err.value.shard == victim  # range shard s on device s
+            assert err.value.devices == (victim,)
+
+    def test_served_single_replica_failure_is_a_failed_future_not_a_hang(self):
+        with GenieSession() as session:
+            session.create_index(
+                make_data(), model="raw", name="idx", shards=4, replicas=1
+            )
+            session.inject_faults(FaultPlan([FaultEvent(device=2, start=0.0)]))
+            server = GenieServer(session, policy=BatchPolicy.fifo())
+            broad = np.arange(VOCAB, dtype=np.int64)
+            future = server.submit("idx", broad, k=K)
+            server.drain()
+            with pytest.raises(AvailabilityError):
+                future.result()
+            server.close()
+
+    def test_pruned_shards_keep_serving_around_a_dead_one(self):
+        # Range routing elides the dead shard for queries whose keywords
+        # cannot live there — those still answer.
+        rng = np.random.default_rng(0)
+        base = np.sort(rng.integers(0, 1000, size=1000))
+        rows = [
+            np.unique(rng.integers(b, b + 25, size=8)).astype(np.int64)
+            for b in base
+        ]
+        with GenieSession() as session:
+            handle = session.create_index(
+                rows, model="raw", name="idx", shards=4, replicas=1
+            )
+            session.inject_faults(FaultPlan([FaultEvent(device=3, start=0.0)]))
+            low = np.arange(40, dtype=np.int64)  # far from shard 3's range
+            result = handle.search([low], k=K)
+            assert np.asarray(result.ids).size

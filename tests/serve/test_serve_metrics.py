@@ -188,3 +188,65 @@ class TestRejectedByReason:
             server.submit_many("tweets", DOCS[:5], k=2)
         assert server.metrics.rejected_by_reason == {"queue_full": 5}
         server.close()
+
+
+class TestRollingShardWindow:
+    def test_empty_window_reports_balance(self):
+        metrics = ServeMetrics()
+        assert metrics.rolling_window_batches == 0
+        assert metrics.rolling_shard_imbalance == 0.0
+        assert metrics.rolling_shard_seconds() == []
+
+    def test_window_sums_per_position(self):
+        metrics = ServeMetrics()
+        metrics.record_batch(1, 3.0, 0, 0, shard_seconds=[1.0, 2.0])
+        metrics.record_batch(1, 5.0, 0, 0, shard_seconds=[4.0, 1.0])
+        assert metrics.rolling_window_batches == 2
+        assert metrics.rolling_shard_seconds() == [5.0, 3.0]
+        assert metrics.rolling_shard_imbalance == pytest.approx(5.0 / 4.0)
+
+    def test_unsharded_batches_stay_out_of_the_window(self):
+        metrics = ServeMetrics()
+        metrics.record_batch(1, 1.0, 0, 0)
+        assert metrics.rolling_window_batches == 0
+
+    def test_window_evicts_oldest_batches(self):
+        metrics = ServeMetrics(rolling_shard_window=2)
+        metrics.record_batch(1, 9.0, 0, 0, shard_seconds=[9.0, 0.0])
+        metrics.record_batch(1, 2.0, 0, 0, shard_seconds=[1.0, 1.0])
+        metrics.record_batch(1, 2.0, 0, 0, shard_seconds=[1.0, 1.0])
+        # the skewed first batch has rolled out
+        assert metrics.rolling_shard_seconds() == [2.0, 2.0]
+        assert metrics.rolling_shard_imbalance == pytest.approx(1.0)
+
+    def test_rolling_differs_from_lifetime_imbalance(self):
+        metrics = ServeMetrics(rolling_shard_window=2)
+        metrics.record_batch(1, 9.0, 0, 0, shard_seconds=[9.0, 0.0])
+        for _ in range(2):
+            metrics.record_batch(1, 2.0, 0, 0, shard_seconds=[1.0, 1.0])
+        # lifetime counters remember the skew; the window has moved on
+        assert metrics.shard_imbalance > metrics.rolling_shard_imbalance
+
+    def test_ragged_vectors_pad_with_zero(self):
+        metrics = ServeMetrics()
+        metrics.record_batch(1, 1.0, 0, 0, shard_seconds=[1.0])
+        metrics.record_batch(1, 2.0, 0, 0, shard_seconds=[1.0, 1.0])
+        assert metrics.rolling_shard_seconds() == [2.0, 1.0]
+
+    def test_reset_rolling_shards_clears_only_the_window(self):
+        metrics = ServeMetrics()
+        metrics.record_batch(1, 3.0, 0, 0, shard_seconds=[2.0, 1.0])
+        metrics.reset_rolling_shards()
+        assert metrics.rolling_window_batches == 0
+        assert metrics.rolling_shard_seconds() == []
+        assert metrics.sharded_batches == 1  # lifetime counters survive
+
+    def test_snapshot_exposes_rolling_gauges(self):
+        metrics = ServeMetrics()
+        metrics.record_batch(1, 3.0, 0, 0, shard_seconds=[2.0, 1.0])
+        snap = metrics.snapshot()
+        assert snap["rolling_window_batches"] == 1
+        assert snap["rolling_shard_imbalance"] == pytest.approx(4.0 / 3.0)
+        assert snap["replica_failovers"] == 0
+        assert snap["replica_rebalances"] == 0
+        assert snap["replica_re_replications"] == 0
